@@ -1,0 +1,122 @@
+//! Aggregation of AL trajectories across repeated runs.
+//!
+//! The paper evaluates each strategy on batches of random partitions of the
+//! same dataset (10 runs in Fig. 7, 50 in Fig. 8) and reads averaged
+//! trajectories. This module aligns runs by iteration and produces
+//! mean / min / max envelopes for any recorded quantity.
+
+use crate::runner::AlRun;
+use alperf_linalg::stats;
+
+/// Mean and envelope of a per-iteration quantity across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Mean value at each iteration (up to the shortest run's length).
+    pub mean: Vec<f64>,
+    /// Minimum across runs.
+    pub lo: Vec<f64>,
+    /// Maximum across runs.
+    pub hi: Vec<f64>,
+}
+
+impl Envelope {
+    /// Number of iterations covered.
+    pub fn len(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// True when no iterations are covered.
+    pub fn is_empty(&self) -> bool {
+        self.mean.is_empty()
+    }
+}
+
+/// Build an envelope for a quantity extracted from each iteration record.
+pub fn envelope(runs: &[AlRun], quantity: impl Fn(&crate::runner::IterationRecord) -> f64) -> Envelope {
+    let n_iters = runs.iter().map(|r| r.history.len()).min().unwrap_or(0);
+    let mut mean = Vec::with_capacity(n_iters);
+    let mut lo = Vec::with_capacity(n_iters);
+    let mut hi = Vec::with_capacity(n_iters);
+    for i in 0..n_iters {
+        let vals: Vec<f64> = runs.iter().map(|r| quantity(&r.history[i])).collect();
+        mean.push(stats::mean(&vals));
+        lo.push(stats::min(&vals).unwrap_or(f64::NAN));
+        hi.push(stats::max(&vals).unwrap_or(f64::NAN));
+    }
+    Envelope { mean, lo, hi }
+}
+
+/// The three paper metrics (Fig. 7) averaged across runs:
+/// `(sigma_f(x*), AMSD, RMSE)`.
+pub fn paper_metrics(runs: &[AlRun]) -> (Envelope, Envelope, Envelope) {
+    (
+        envelope(runs, |r| r.sigma_at_chosen),
+        envelope(runs, |r| r.amsd),
+        envelope(runs, |r| r.rmse),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{AlRun, IterationRecord};
+
+    fn fake_run(rmses: &[f64]) -> AlRun {
+        AlRun {
+            strategy: "fake",
+            history: rmses
+                .iter()
+                .enumerate()
+                .map(|(i, &rmse)| IterationRecord {
+                    iter: i,
+                    chosen_row: i,
+                    x: vec![i as f64],
+                    y: 0.0,
+                    sigma_at_chosen: 1.0 / (i + 1) as f64,
+                    amsd: 0.5 / (i + 1) as f64,
+                    rmse,
+                    cumulative_cost: (i + 1) as f64,
+                    lml: 0.0,
+                    noise_std: 0.1,
+                })
+                .collect(),
+            final_train: vec![],
+        }
+    }
+
+    #[test]
+    fn envelope_mean_min_max() {
+        let runs = vec![fake_run(&[1.0, 0.5, 0.2]), fake_run(&[2.0, 1.0, 0.4])];
+        let env = envelope(&runs, |r| r.rmse);
+        assert_eq!(env.len(), 3);
+        for (got, expect) in env.mean.iter().zip([1.5, 0.75, 0.3]) {
+            assert!((got - expect).abs() < 1e-12);
+        }
+        assert_eq!(env.lo, vec![1.0, 0.5, 0.2]);
+        assert_eq!(env.hi, vec![2.0, 1.0, 0.4]);
+    }
+
+    #[test]
+    fn envelope_truncates_to_shortest_run() {
+        let runs = vec![fake_run(&[1.0, 0.5]), fake_run(&[2.0, 1.0, 0.4])];
+        let env = envelope(&runs, |r| r.rmse);
+        assert_eq!(env.len(), 2);
+    }
+
+    #[test]
+    fn empty_runs_give_empty_envelope() {
+        let env = envelope(&[], |r| r.rmse);
+        assert!(env.is_empty());
+    }
+
+    #[test]
+    fn paper_metrics_shapes_agree() {
+        let runs = vec![fake_run(&[1.0, 0.5, 0.2]); 3];
+        let (sig, amsd, rmse) = paper_metrics(&runs);
+        assert_eq!(sig.len(), 3);
+        assert_eq!(amsd.len(), 3);
+        assert_eq!(rmse.len(), 3);
+        // sigma trace decreasing by construction.
+        assert!(sig.mean.windows(2).all(|w| w[1] < w[0]));
+    }
+}

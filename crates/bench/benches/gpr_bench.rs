@@ -1,0 +1,108 @@
+//! Criterion benches for the GPR engine: covariance assembly, one LML
+//! evaluation (the unit of hyperparameter search), the full LML gradient,
+//! posterior prediction, and an end-to-end optimized fit — the costs that
+//! determine how fast an AL iteration can run (the paper defers this
+//! "analysis of computational requirements" to future work; here it is).
+
+use alperf_gp::kernel::SquaredExponential;
+use alperf_gp::lml;
+use alperf_gp::model::Gpr;
+use alperf_gp::noise::NoiseFloor;
+use alperf_gp::optimize::{fit_gpr, GprConfig};
+use alperf_linalg::matrix::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn training_data(n: usize) -> (Matrix, Vec<f64>) {
+    let x = Matrix::from_fn(n, 2, |i, j| {
+        if j == 0 {
+            3.0 + 6.0 * (i as f64 / n as f64)
+        } else {
+            1.2 + 1.2 * ((i * 7 % n) as f64 / n as f64)
+        }
+    });
+    let y: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.1).sin() + i as f64 * 0.01)
+        .collect();
+    (x, y)
+}
+
+fn bench_covariance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("covariance_assembly");
+    g.sample_size(20);
+    let kernel = SquaredExponential::new(1.0, 1.0);
+    for n in [64usize, 128, 256] {
+        let (x, _) = training_data(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
+            b.iter(|| lml::assemble_covariance(black_box(&kernel), black_box(x)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lml(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lml_value");
+    g.sample_size(20);
+    let kernel = SquaredExponential::new(1.0, 1.0);
+    for n in [64usize, 128, 256] {
+        let (x, y) = training_data(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
+            b.iter(|| lml::lml_value(black_box(&kernel), 0.1, x, black_box(&y)).expect("lml"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lml_grad(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lml_gradient");
+    g.sample_size(15);
+    let kernel = SquaredExponential::new(1.0, 1.0);
+    for n in [64usize, 128, 256] {
+        let (x, y) = training_data(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
+            b.iter(|| {
+                lml::lml_and_grad(black_box(&kernel), 0.1, x, black_box(&y), true).expect("grad")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predict_one");
+    g.sample_size(50);
+    for n in [64usize, 256] {
+        let (x, y) = training_data(n);
+        let gpr = Gpr::fit(x, &y, Box::new(SquaredExponential::new(1.0, 1.0)), 0.1, true)
+            .expect("fit");
+        g.bench_with_input(BenchmarkId::from_parameter(n), &gpr, |b, gpr| {
+            b.iter(|| gpr.predict_one(black_box(&[5.0, 1.8])).expect("predict"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fit_optimized(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fit_gpr_optimized");
+    g.sample_size(10);
+    for n in [32usize, 96] {
+        let (x, y) = training_data(n);
+        let cfg = GprConfig::new(Box::new(SquaredExponential::unit()))
+            .with_noise_floor(NoiseFloor::recommended())
+            .with_restarts(2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
+            b.iter(|| fit_gpr(black_box(x), black_box(&y), &cfg).expect("fit"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_covariance,
+    bench_lml,
+    bench_lml_grad,
+    bench_predict,
+    bench_fit_optimized
+);
+criterion_main!(benches);

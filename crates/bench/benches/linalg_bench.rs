@@ -1,0 +1,69 @@
+//! Criterion benches for the dense linear-algebra substrate: the Cholesky
+//! factorization that dominates every GPR fit, triangular solves, and the
+//! serial-vs-parallel matrix product crossover that justifies the
+//! `PAR_THRESHOLD` constant in `alperf-linalg`.
+
+use alperf_linalg::{cholesky::Cholesky, matrix::Matrix, vector};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn spd(n: usize) -> Matrix {
+    // Kernel-matrix-like SPD: exp(-|i-j|^2 / s) + ridge.
+    let s = (n as f64 / 4.0).powi(2);
+    let mut m = Matrix::from_fn(n, n, |i, j| {
+        let d = i as f64 - j as f64;
+        (-d * d / s).exp()
+    });
+    m.add_diagonal(1e-2);
+    m
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cholesky");
+    g.sample_size(20);
+    for n in [32usize, 64, 128, 256] {
+        let a = spd(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| Cholesky::decompose(black_box(a)).expect("SPD"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cholesky_solve");
+    g.sample_size(30);
+    for n in [64usize, 256] {
+        let a = spd(n);
+        let chol = Cholesky::decompose(&a).expect("SPD");
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &chol, |b, chol| {
+            b.iter(|| chol.solve(black_box(&rhs)).expect("solve"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    g.sample_size(15);
+    for n in [48usize, 96, 192] {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 3 + j) % 17) as f64 * 0.1);
+        let b2 = Matrix::from_fn(n, n, |i, j| ((i + 5 * j) % 13) as f64 * 0.1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| a.matmul(black_box(&b2)).expect("dims"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let x: Vec<f64> = (0..4096).map(|i| (i as f64).sin()).collect();
+    let y: Vec<f64> = (0..4096).map(|i| (i as f64).cos()).collect();
+    c.bench_function("dot_4096", |b| {
+        b.iter(|| vector::dot(black_box(&x), black_box(&y)))
+    });
+}
+
+criterion_group!(benches, bench_cholesky, bench_solve, bench_matmul, bench_dot);
+criterion_main!(benches);

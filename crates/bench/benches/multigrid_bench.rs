@@ -1,0 +1,123 @@
+//! Criterion benches for the HPGMG-FE stand-in: full FMG solves across
+//! refinements, operators, and thread counts, plus the component kernels
+//! (smoother sweep, residual, restriction). These are the measurements the
+//! performance model in `alperf_hpgmg::model` abstracts — comparing the
+//! two grounds the model's per-operator cost ratios.
+
+use alperf_hpgmg::cycle::Hierarchy;
+use alperf_hpgmg::grid3::Grid3;
+use alperf_hpgmg::operator::{self, OperatorKind};
+use alperf_hpgmg::smoother;
+use alperf_hpgmg::solver::FmgSolver;
+use alperf_hpgmg::transfer;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fmg_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fmg_solve");
+    g.sample_size(10);
+    for n in [16usize, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let solver = FmgSolver::new(OperatorKind::Poisson1, n);
+            b.iter(|| black_box(solver.run()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fmg_by_operator");
+    g.sample_size(10);
+    for kind in OperatorKind::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let solver = FmgSolver::new(kind, 16);
+            b.iter(|| black_box(solver.run()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fmg_threads");
+    g.sample_size(10);
+    for t in [1usize, 2] {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            let solver = FmgSolver {
+                threads: t,
+                ..FmgSolver::new(OperatorKind::Poisson1, 32)
+            };
+            b.iter(|| black_box(solver.run()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let n = 32;
+    let mut u = Grid3::zeros(n);
+    u.fill_interior(|x, y, z| (x * 5.0).sin() + y - z * z);
+    let mut f = Grid3::zeros(n);
+    f.fill_interior(|_, _, _| 1.0);
+    let mut scratch = Grid3::zeros(n);
+    c.bench_function("residual_32", |b| {
+        b.iter(|| operator::residual(OperatorKind::Poisson2, &u, &f, black_box(&mut scratch)))
+    });
+    c.bench_function("gauss_seidel_rb_32", |b| {
+        b.iter(|| smoother::gauss_seidel_rb(OperatorKind::Poisson1, &mut u, &f, &mut scratch))
+    });
+    let mut coarse = Grid3::zeros(n / 2);
+    c.bench_function("restrict_32_to_16", |b| {
+        b.iter(|| transfer::restrict(&u, black_box(&mut coarse)))
+    });
+    let mut h = Hierarchy::new(OperatorKind::Poisson1, n);
+    h.rhs_mut().fill_interior(|x, y, z| x * y * z);
+    c.bench_function("vcycle_32", |b| b.iter(|| h.vcycle()));
+}
+
+fn bench_fmg_vs_cg(c: &mut Criterion) {
+    // The contrast that motivates multigrid (and HPGMG): FMG solves in
+    // O(N) work while Jacobi-PCG pays kappa ~ h^{-2} iterations.
+    let mut g = c.benchmark_group("fmg_vs_cg_n32");
+    g.sample_size(10);
+    let n = 32;
+    let rhs = |n: usize| {
+        let mut f = Grid3::zeros(n);
+        f.fill_interior(|x, y, z| x * (1.0 - x) * (y + 0.3) * (1.2 - z));
+        f
+    };
+    g.bench_function("fmg", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(OperatorKind::Poisson1, n);
+            *h.rhs_mut() = rhs(n);
+            let r0 = h.residual_norm();
+            h.fmg(1);
+            while h.residual_norm() > 1e-8 * r0 {
+                h.vcycle();
+            }
+            black_box(h.residual_norm())
+        })
+    });
+    g.bench_function("jacobi_pcg", |b| {
+        b.iter(|| {
+            let mut u = Grid3::zeros(n);
+            black_box(alperf_hpgmg::krylov::pcg(
+                OperatorKind::Poisson1,
+                &mut u,
+                &rhs(n),
+                1e-8,
+                10_000,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fmg_scaling,
+    bench_operators,
+    bench_threads,
+    bench_components,
+    bench_fmg_vs_cg
+);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! Reproduction of **Fig. 7** — "Strong influence of the limit on the
+//! noise-level sigma_n on the quality of AL."
+//!
+//! Ten AL repetitions (random partitions of the same Performance subset)
+//! tracking the paper's three monitoring metrics per iteration —
+//! `sigma_f(x*)`, AMSD, RMSE — under two noise floors:
+//!
+//! * (a) `sigma_n >= 1e-8`: the paper calls the behaviour "inadequate":
+//!   `sigma_f(x)` collapses to negligible values within the first few
+//!   iterations and AMSD dives far below its stable value (overfitting);
+//! * (b) `sigma_n >= 1e-1`: "the new trajectories do not demonstrate the
+//!   aforementioned downsides"; AMSD converges and so does RMSE.
+
+use alperf_al::metrics::paper_metrics;
+use alperf_al::runner::{run_al, AlConfig, AlRun};
+use alperf_al::strategy::VarianceReduction;
+use alperf_bench::{banner, load_datasets, write_series};
+use alperf_data::partition::Partition;
+use alperf_gp::kernel::ArdSquaredExponential;
+use alperf_gp::noise::NoiseFloor;
+use alperf_core::analysis::paper_kernel_bounds;
+use alperf_gp::optimize::GprConfig;
+use alperf_linalg::matrix::Matrix;
+use rayon::prelude::*;
+
+const REPETITIONS: usize = 10;
+const ITERS: usize = 60;
+
+fn problem() -> (Matrix, Vec<f64>, Vec<f64>) {
+    let data = load_datasets();
+    let sub = data
+        .performance
+        .fix_level("Operator", "poisson1")
+        .expect("operator")
+        .fix_variable("NP", 32.0)
+        .expect("NP");
+    let sizes = &sub.variable("Global Problem Size").expect("size").values;
+    let freqs = &sub.variable("CPU Frequency").expect("freq").values;
+    let y: Vec<f64> = sub
+        .response("Runtime")
+        .expect("runtime")
+        .iter()
+        .map(|v| v.log10())
+        .collect();
+    let n = sub.n_rows();
+    let mut flat = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        flat.push(sizes[i].log10());
+        flat.push(freqs[i]);
+    }
+    (Matrix::from_vec(n, 2, flat).expect("matrix"), y, vec![1.0; n])
+}
+
+fn batch(x: &Matrix, y: &[f64], cost: &[f64], floor: NoiseFloor) -> Vec<AlRun> {
+    (0..REPETITIONS)
+        .into_par_iter()
+        .map(|rep| {
+            let gpr = GprConfig::new(Box::new(ArdSquaredExponential::unit(2)))
+                .with_noise_floor(floor)
+                .with_restarts(3)
+                .with_kernel_bounds(paper_kernel_bounds(2))
+                .with_standardize(false)
+                .with_seed(100 + rep as u64);
+            let cfg = AlConfig {
+                max_iters: ITERS,
+                seed: rep as u64,
+                ..AlConfig::new(gpr)
+            };
+            let part = Partition::paper_default(x.nrows(), 1000 + rep as u64);
+            run_al(x, y, cost, &part, &mut VarianceReduction, &cfg).expect("AL run")
+        })
+        .collect()
+}
+
+fn report(tag: &str, runs: &[AlRun]) -> (f64, f64, f64, f64) {
+    let (sigma, amsd, rmse) = paper_metrics(runs);
+    let iters: Vec<f64> = (0..sigma.len()).map(|i| i as f64).collect();
+    write_series(
+        &format!("fig7_{tag}"),
+        &[
+            ("iter", &iters),
+            ("sigma_at_chosen_mean", &sigma.mean),
+            ("sigma_at_chosen_min", &sigma.lo),
+            ("amsd_mean", &amsd.mean),
+            ("amsd_min", &amsd.lo),
+            ("rmse_mean", &rmse.mean),
+        ],
+    );
+    // Early collapse diagnostics: the minimum sigma_f(x*) and AMSD seen in
+    // the first 5 iterations across all runs.
+    let early_sigma_min = sigma.lo[..5.min(sigma.len())]
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let early_amsd_min = amsd.lo[..5.min(amsd.len())]
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let late_amsd = amsd.mean[amsd.len().saturating_sub(10)..]
+        .iter()
+        .sum::<f64>()
+        / 10f64.min(amsd.len() as f64);
+    let late_rmse = rmse.mean[rmse.len().saturating_sub(10)..]
+        .iter()
+        .sum::<f64>()
+        / 10f64.min(rmse.len() as f64);
+    (early_sigma_min, early_amsd_min, late_amsd, late_rmse)
+}
+
+fn main() {
+    let (x, y, cost) = problem();
+    banner(&format!(
+        "Fig. 7: {REPETITIONS} AL repetitions x {ITERS} iterations on {} jobs",
+        x.nrows()
+    ));
+
+    println!("running (a) sigma_n >= 1e-8 ...");
+    let loose = batch(&x, &y, &cost, NoiseFloor::loose());
+    let (ls, la, llate_amsd, llate_rmse) = report("a_loose", &loose);
+
+    println!("running (b) sigma_n >= 1e-1 ...");
+    let tight = batch(&x, &y, &cost, NoiseFloor::recommended());
+    let (ts, ta, tlate_amsd, tlate_rmse) = report("b_tight", &tight);
+
+    banner("paper observations, checked");
+    println!("                                   (a) 1e-8       (b) 1e-1");
+    println!("min sigma_f(x*) in iters 0-4:      {ls:<14.2e} {ts:<14.2e}");
+    println!("min AMSD in iters 0-4:             {la:<14.2e} {ta:<14.2e}");
+    println!("late AMSD (last 10 iters, mean):   {llate_amsd:<14.3} {tlate_amsd:<14.3}");
+    println!("late RMSE (last 10 iters, mean):   {llate_rmse:<14.3} {tlate_rmse:<14.3}");
+    println!();
+    println!("paper (a): 'sigma_f(x) drops to negligible values before the 5th iteration' and AMSD dips far below its stable value -> overfitting;");
+    println!("paper (b): 'the new trajectories do not demonstrate the aforementioned downsides'.");
+    assert!(
+        ls < ts / 10.0,
+        "loose floor should allow sigma collapse: {ls:.2e} vs {ts:.2e}"
+    );
+    println!("\nCHECK PASSED: the loose floor collapses early uncertainty ({:.1e} vs {:.1e}); the 1e-1 floor prevents it.", ls, ts);
+
+    // In-terminal sketch of the AMSD trajectories (log10 scale), the
+    // centerpiece of the paper's Fig. 7.
+    let (_, amsd_loose, _) = paper_metrics(&loose);
+    let (_, amsd_tight, _) = paper_metrics(&tight);
+    let iters: Vec<f64> = (0..amsd_loose.len().min(amsd_tight.len()))
+        .map(|i| i as f64)
+        .collect();
+    let k = iters.len();
+    let la = alperf_bench::plot::log10_series(&amsd_loose.mean[..k]);
+    let ta = alperf_bench::plot::log10_series(&amsd_tight.mean[..k]);
+    println!("\nlog10(AMSD) vs iteration:");
+    print!(
+        "{}",
+        alperf_bench::plot::ascii_chart(
+            &[
+                ("sigma_n >= 1e-8 (collapses)", &iters, &la),
+                ("sigma_n >= 1e-1 (stable)", &iters, &ta),
+            ],
+            64,
+            14,
+        )
+    );
+}

@@ -1,0 +1,111 @@
+#![warn(missing_docs)]
+//! Shared plumbing for the reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §3 for the index). They print their series to stdout and
+//! write CSV files under `target/repro/` so results can be plotted or
+//! diffed. The full simulated measurement campaign is generated once and
+//! cached on disk — all figures must come from the *same* dataset, exactly
+//! as in the paper.
+
+pub mod plot;
+
+use alperf_cluster::campaign::{Campaign, CampaignOutput};
+use alperf_data::csvio;
+use alperf_data::dataset::DataSet;
+use std::path::PathBuf;
+
+/// Directory for reproduction outputs (`target/repro`).
+pub fn repro_dir() -> PathBuf {
+    let dir = PathBuf::from("target/repro");
+    std::fs::create_dir_all(&dir).expect("create target/repro");
+    dir
+}
+
+/// The two campaign datasets, loaded from cache or generated.
+pub struct Datasets {
+    /// Performance dataset (~3.3k jobs; response Runtime).
+    pub performance: DataSet,
+    /// Power dataset (~0.4k jobs; responses Runtime, Energy).
+    pub power: DataSet,
+}
+
+/// Load the campaign datasets, generating and caching them on first use.
+pub fn load_datasets() -> Datasets {
+    let dir = repro_dir().join("datasets");
+    std::fs::create_dir_all(&dir).expect("create dataset cache dir");
+    let perf_path = dir.join("performance.csv");
+    let power_path = dir.join("power.csv");
+    if perf_path.exists() && power_path.exists() {
+        let performance = csvio::read_file(&perf_path, &["Runtime", "Memory"])
+            .expect("read cached performance dataset");
+        let power = csvio::read_file(&power_path, &["Runtime", "Energy"])
+            .expect("read cached power dataset");
+        return Datasets { performance, power };
+    }
+    eprintln!("(generating measurement campaign — cached for later binaries)");
+    let CampaignOutput {
+        performance, power, ..
+    } = Campaign::default().run().expect("campaign");
+    csvio::write_file(&performance, &perf_path).expect("cache performance dataset");
+    csvio::write_file(&power, &power_path).expect("cache power dataset");
+    Datasets { performance, power }
+}
+
+/// Write a simple CSV of named columns to `target/repro/<name>.csv`.
+///
+/// # Panics
+/// Panics if columns have unequal lengths or the file cannot be written.
+pub fn write_series(name: &str, columns: &[(&str, &[f64])]) {
+    let n = columns.first().map(|(_, c)| c.len()).unwrap_or(0);
+    assert!(
+        columns.iter().all(|(_, c)| c.len() == n),
+        "write_series: ragged columns"
+    );
+    let mut out = String::new();
+    out.push_str(
+        &columns
+            .iter()
+            .map(|(h, _)| h.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for i in 0..n {
+        out.push_str(
+            &columns
+                .iter()
+                .map(|(_, c)| format!("{}", c[i]))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    let path = repro_dir().join(format!("{name}.csv"));
+    std::fs::write(&path, out).expect("write series CSV");
+    println!("[wrote {}]", path.display());
+}
+
+/// Pretty-print a header for a reproduction section.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_series_roundtrip() {
+        write_series("_test_series", &[("a", &[1.0, 2.0]), ("b", &[3.0, 4.0])]);
+        let text = std::fs::read_to_string(repro_dir().join("_test_series.csv")).unwrap();
+        assert_eq!(text, "a,b\n1,3\n2,4\n");
+        std::fs::remove_file(repro_dir().join("_test_series.csv")).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_series_rejected() {
+        write_series("_bad", &[("a", &[1.0]), ("b", &[1.0, 2.0])]);
+    }
+}

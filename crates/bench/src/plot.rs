@@ -1,0 +1,138 @@
+//! Minimal ASCII chart rendering for the reproduction binaries.
+//!
+//! The paper's figures are scatter/line plots; the repro binaries write the
+//! exact series to CSV for real plotting, but an in-terminal sketch makes
+//! `cargo run --bin repro_*` self-contained — the shape (collapsing AMSD,
+//! crossing tradeoff curves, star patterns) is visible without leaving the
+//! shell.
+
+/// Render one or more `(label, xs, ys)` series as an ASCII line/scatter
+/// chart of the given size. Series are drawn with distinct glyphs
+/// (`*`, `o`, `+`, `x`, ...); later series overwrite earlier ones where
+/// they collide. NaN/infinite points are skipped.
+pub fn ascii_chart(
+    series: &[(&str, &[f64], &[f64])],
+    width: usize,
+    height: usize,
+) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let width = width.max(16);
+    let height = height.max(6);
+    // Data bounds over finite points.
+    let mut x_lo = f64::INFINITY;
+    let mut x_hi = f64::NEG_INFINITY;
+    let mut y_lo = f64::INFINITY;
+    let mut y_hi = f64::NEG_INFINITY;
+    for (_, xs, ys) in series {
+        for (x, y) in xs.iter().zip(*ys) {
+            if x.is_finite() && y.is_finite() {
+                x_lo = x_lo.min(*x);
+                x_hi = x_hi.max(*x);
+                y_lo = y_lo.min(*y);
+                y_hi = y_hi.max(*y);
+            }
+        }
+    }
+    if !x_lo.is_finite() || !y_lo.is_finite() {
+        return String::from("(no finite data)\n");
+    }
+    if x_hi == x_lo {
+        x_hi = x_lo + 1.0;
+    }
+    if y_hi == y_lo {
+        y_hi = y_lo + 1.0;
+    }
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, (_, xs, ys)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (x, y) in xs.iter().zip(*ys) {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let cx = ((x - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
+            canvas[height - 1 - cy][cx] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_hi:>11.3e} +{}\n", "-".repeat(width)));
+    for row in &canvas {
+        out.push_str("            |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_lo:>11.3e} +{}\n", "-".repeat(width)));
+    out.push_str(&format!(
+        "             {:<.3e}{:>pad$.3e}\n",
+        x_lo,
+        x_hi,
+        pad = width.saturating_sub(9)
+    ));
+    for (si, (label, _, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {label}\n", GLYPHS[si % GLYPHS.len()]));
+    }
+    out
+}
+
+/// Log10-transform a series for plotting (non-positive values become NaN
+/// and are skipped by the renderer).
+pub fn log10_series(v: &[f64]) -> Vec<f64> {
+    v.iter()
+        .map(|&x| if x > 0.0 { x.log10() } else { f64::NAN })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_simple_line() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let chart = ascii_chart(&[("quadratic", &xs, &ys)], 40, 10);
+        assert!(chart.contains('*'));
+        assert!(chart.contains("quadratic"));
+        // Corners populated: the max should appear on the top row.
+        let top_row = chart.lines().nth(1).expect("canvas row");
+        assert!(top_row.contains('*'));
+    }
+
+    #[test]
+    fn two_series_get_distinct_glyphs() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let up = xs.clone();
+        let down: Vec<f64> = xs.iter().map(|x| 9.0 - x).collect();
+        let chart = ascii_chart(&[("up", &xs, &up), ("down", &xs, &down)], 30, 8);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn nan_points_skipped() {
+        let xs = vec![0.0, 1.0, 2.0];
+        let ys = vec![1.0, f64::NAN, 3.0];
+        let chart = ascii_chart(&[("s", &xs, &ys)], 20, 6);
+        assert!(chart.matches('*').count() >= 2);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        assert!(ascii_chart(&[], 20, 6).contains("no finite data"));
+        let xs = vec![5.0];
+        let ys = vec![5.0];
+        let chart = ascii_chart(&[("pt", &xs, &ys)], 20, 6);
+        assert!(chart.contains('*'));
+        let nan = vec![f64::NAN];
+        assert!(ascii_chart(&[("n", &nan, &nan)], 20, 6).contains("no finite data"));
+    }
+
+    #[test]
+    fn log10_series_handles_nonpositive() {
+        let v = log10_series(&[100.0, 0.0, -5.0, 10.0]);
+        assert_eq!(v[0], 2.0);
+        assert!(v[1].is_nan());
+        assert!(v[2].is_nan());
+        assert_eq!(v[3], 1.0);
+    }
+}

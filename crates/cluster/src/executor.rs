@@ -1,0 +1,160 @@
+//! Concurrent measurement executor.
+//!
+//! Sampling a runtime and a full power trace for thousands of jobs is
+//! embarrassingly parallel; this module fans the work out over a crossbeam
+//! scoped worker pool, with a `parking_lot`-protected collection of
+//! results. Every job derives its RNG seed from its own identity
+//! ([`crate::job::JobRequest::seed`]), so the measurement a job receives is
+//! bit-identical no matter which worker runs it or in what order — the
+//! simulation is deterministic despite the concurrency.
+
+use crate::job::JobRequest;
+use crate::power::{PowerSampler, PowerSample};
+use alperf_hpgmg::model::PerfModel;
+use crossbeam::channel;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One measured job: sampled runtime, per-node memory, and power trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Index of the request within the batch.
+    pub idx: usize,
+    /// Sampled (noisy) runtime, seconds.
+    pub runtime: f64,
+    /// Sampled peak per-node memory, bytes (SLURM's MaxRSS analogue).
+    pub memory_per_node: f64,
+    /// IPMI-style power trace over the job's execution.
+    pub trace: Vec<PowerSample>,
+}
+
+/// Measure every job in `requests` concurrently on `workers` threads.
+/// Results are returned in request order.
+pub fn measure_all(
+    model: &PerfModel,
+    sampler: &PowerSampler,
+    requests: &[JobRequest],
+    campaign_seed: u64,
+    workers: usize,
+) -> Vec<Measurement> {
+    let workers = workers.max(1);
+    let (tx, rx) = channel::unbounded::<usize>();
+    for idx in 0..requests.len() {
+        tx.send(idx).expect("queue send");
+    }
+    drop(tx);
+    let results: Mutex<Vec<Option<Measurement>>> = Mutex::new(vec![None; requests.len()]);
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let results = &results;
+            s.spawn(move |_| {
+                while let Ok(idx) = rx.recv() {
+                    let m = measure_one(model, sampler, &requests[idx], idx, campaign_seed);
+                    results.lock()[idx] = Some(m);
+                }
+            });
+        }
+    })
+    .expect("worker pool panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|m| m.expect("every job measured"))
+        .collect()
+}
+
+/// Measure a single job with its identity-derived RNG.
+pub fn measure_one(
+    model: &PerfModel,
+    sampler: &PowerSampler,
+    request: &JobRequest,
+    idx: usize,
+    campaign_seed: u64,
+) -> Measurement {
+    let mut rng = StdRng::seed_from_u64(request.seed(campaign_seed));
+    let runtime = model.sample_runtime(request.op, request.size, request.np, request.freq, &mut rng);
+    let memory_per_node = model.sample_memory_per_node(request.size, request.np, &mut rng);
+    let watts = model.power_mean(request.np, request.freq);
+    let trace = sampler.sample_trace(runtime, watts, &mut rng);
+    Measurement { idx, runtime, memory_per_node, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alperf_hpgmg::operator::OperatorKind;
+
+    fn requests(n: usize) -> Vec<JobRequest> {
+        (0..n)
+            .map(|i| JobRequest {
+                op: OperatorKind::all()[i % 3],
+                size: 1e5 * (1.0 + i as f64),
+                np: [1, 8, 32, 64][i % 4],
+                freq: [1.2, 1.8, 2.4][i % 3],
+                repeat: i % 3,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let model = PerfModel::calibrated();
+        let sampler = PowerSampler::default();
+        let reqs = requests(40);
+        let par = measure_all(&model, &sampler, &reqs, 9, 8);
+        let ser = measure_all(&model, &sampler, &reqs, 9, 1);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn results_in_request_order() {
+        let model = PerfModel::calibrated();
+        let sampler = PowerSampler::default();
+        let reqs = requests(10);
+        let out = measure_all(&model, &sampler, &reqs, 0, 4);
+        for (i, m) in out.iter().enumerate() {
+            assert_eq!(m.idx, i);
+        }
+    }
+
+    #[test]
+    fn repeats_get_different_noise() {
+        let model = PerfModel::calibrated();
+        let sampler = PowerSampler::default();
+        let a = JobRequest {
+            op: OperatorKind::Poisson1,
+            size: 1e7,
+            np: 16,
+            freq: 2.4,
+            repeat: 0,
+        };
+        let b = JobRequest { repeat: 1, ..a };
+        let ma = measure_one(&model, &sampler, &a, 0, 1);
+        let mb = measure_one(&model, &sampler, &b, 1, 1);
+        assert_ne!(ma.runtime, mb.runtime);
+        // Both close to the model mean.
+        let mean = model.runtime_mean(a.op, a.size, a.np, a.freq);
+        assert!((ma.runtime - mean).abs() / mean < 0.2);
+        assert!((mb.runtime - mean).abs() / mean < 0.2);
+    }
+
+    #[test]
+    fn campaign_seed_changes_measurements() {
+        let model = PerfModel::calibrated();
+        let sampler = PowerSampler::default();
+        let reqs = requests(5);
+        let a = measure_all(&model, &sampler, &reqs, 1, 2);
+        let b = measure_all(&model, &sampler, &reqs, 2, 2);
+        assert_ne!(a[0].runtime, b[0].runtime);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let model = PerfModel::calibrated();
+        let sampler = PowerSampler::default();
+        let out = measure_all(&model, &sampler, &[], 0, 4);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! IPMI-style power traces: sparse, noisy, gappy sampling of the cluster's
+//! instantaneous power draw, and numerical integration into per-job energy.
+//!
+//! The paper "collect[s] power traces with frequent recordings of the
+//! instantaneous power draw (in Watts) from the on-board IPMI sensors and
+//! infer[s] per-job energy consumption estimates (in Joules) using the
+//! recorded timestamps", then excludes "jobs with insufficient number of
+//! corresponding power draw records (less than 10 for 60 seconds of
+//! computation)" — both reproduced here. The surviving energy estimates
+//! carry integration error on top of sensor noise, which is why the Power
+//! dataset is visibly noisier than the Performance dataset (paper Fig. 1).
+
+use rand::Rng;
+
+/// One power reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSample {
+    /// Seconds since job start.
+    pub t: f64,
+    /// Instantaneous cluster power, Watts.
+    pub watts: f64,
+}
+
+/// Sampler configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerSampler {
+    /// Nominal sampling interval, seconds.
+    pub interval_s: f64,
+    /// Probability that a scheduled sample is actually recorded (gaps!).
+    pub keep_probability: f64,
+    /// Relative sensor noise (1-sigma) on each reading.
+    pub sensor_noise: f64,
+    /// Per-job power-level noise (1-sigma, lognormal): machine-to-machine
+    /// and thermal variation that shifts a whole job's draw. This is the
+    /// dominant reason the paper's Power dataset is "much" noisier than
+    /// its Performance dataset (Fig. 1) — it does not average out over a
+    /// trace the way per-sample sensor noise does.
+    pub job_level_noise: f64,
+    /// Minimum record rate to keep a job: samples per 60 s of computation
+    /// (the paper's threshold is 10).
+    pub min_samples_per_minute: f64,
+}
+
+impl Default for PowerSampler {
+    fn default() -> Self {
+        PowerSampler {
+            interval_s: 1.0,
+            keep_probability: 0.8,
+            sensor_noise: 0.04,
+            job_level_noise: 0.08,
+            min_samples_per_minute: 10.0,
+        }
+    }
+}
+
+impl PowerSampler {
+    /// Sample a trace for a job of duration `runtime` seconds whose true
+    /// mean cluster power is `mean_watts`. The power signal wanders slowly
+    /// around the mean (multigrid phases alternate compute- and
+    /// memory-bound work) plus white sensor noise.
+    pub fn sample_trace(
+        &self,
+        runtime: f64,
+        mean_watts: f64,
+        rng: &mut impl Rng,
+    ) -> Vec<PowerSample> {
+        let mut out = Vec::new();
+        if runtime <= 0.0 {
+            return out;
+        }
+        // Whole-job power offset (thermal / machine-to-machine variation).
+        let mean_watts =
+            mean_watts * alperf_hpgmg::model::lognormal_factor(self.job_level_noise, rng);
+        // First sample lands uniformly inside the first interval (the
+        // sampler daemon is not synchronized with job starts).
+        let mut t = rng.gen_range(0.0..self.interval_s);
+        while t < runtime {
+            if rng.gen_range(0.0..1.0) < self.keep_probability {
+                // Slow wander: +/-3% sinusoidal phase drift; white noise on top.
+                let phase = 0.03 * (t * 0.21).sin();
+                let noise = self.sensor_noise * alperf_hpgmg::model::standard_normal(rng);
+                out.push(PowerSample {
+                    t,
+                    watts: mean_watts * (1.0 + phase + noise),
+                });
+            }
+            t += self.interval_s;
+        }
+        out
+    }
+
+    /// The paper's record filter: a trace needs at least
+    /// `min_samples_per_minute` records per 60 s of computation *and* an
+    /// absolute floor of that many records in total ("less than 10 for 60
+    /// seconds of computation" excludes short jobs that cannot accumulate
+    /// 10 records at all — which is why the paper's Power dataset contains
+    /// only long-running jobs and its minimum Energy is ~6.4e3 J).
+    pub fn trace_passes(&self, runtime: f64, n_samples: usize) -> bool {
+        if (n_samples as f64) < self.min_samples_per_minute {
+            return false;
+        }
+        let required = self.min_samples_per_minute * runtime / 60.0;
+        n_samples as f64 >= required
+    }
+
+    /// Integrate a trace into Joules over `[0, runtime]`: trapezoid rule
+    /// between samples, with the first/last sample value extended to the
+    /// job boundaries (the standard treatment for sparse IPMI traces).
+    ///
+    /// Returns `None` if the trace fails [`PowerSampler::trace_passes`].
+    pub fn integrate(&self, runtime: f64, trace: &[PowerSample]) -> Option<f64> {
+        if !self.trace_passes(runtime, trace.len()) {
+            return None;
+        }
+        let mut joules = 0.0;
+        // Leading edge: extend first sample back to t = 0.
+        joules += trace[0].watts * trace[0].t.max(0.0);
+        for w in trace.windows(2) {
+            let dt = w[1].t - w[0].t;
+            joules += 0.5 * (w[0].watts + w[1].watts) * dt;
+        }
+        // Trailing edge: extend last sample to t = runtime.
+        let last = trace.last().expect("trace_passes guarantees >= 2 samples");
+        joules += last.watts * (runtime - last.t).max(0.0);
+        Some(joules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_power_integrates_to_p_times_t() {
+        let s = PowerSampler {
+            keep_probability: 1.0,
+            sensor_noise: 0.0,
+            job_level_noise: 0.0,
+            ..Default::default()
+        };
+        // Hand-built noise-free trace.
+        let trace: Vec<PowerSample> = (0..20)
+            .map(|i| PowerSample {
+                t: 1.0 + 3.0 * i as f64,
+                watts: 200.0,
+            })
+            .collect();
+        let runtime = 60.0;
+        let e = s.integrate(runtime, &trace).unwrap();
+        assert!((e - 200.0 * 60.0).abs() < 1e-9, "e = {e}");
+    }
+
+    #[test]
+    fn filter_rejects_sparse_traces() {
+        let s = PowerSampler::default();
+        // 60 s of computation needs >= 10 samples.
+        assert!(s.trace_passes(60.0, 10));
+        assert!(!s.trace_passes(60.0, 9));
+        // Long jobs need proportionally more.
+        assert!(!s.trace_passes(120.0, 15));
+        assert!(s.trace_passes(120.0, 20));
+        // Short jobs still need the absolute floor of 10 records.
+        assert!(!s.trace_passes(12.0, 9));
+        assert!(s.trace_passes(12.0, 10));
+        assert!(!s.trace_passes(1.0, 1));
+        assert!(!s.trace_passes(0.5, 0));
+    }
+
+    #[test]
+    fn integrate_returns_none_below_threshold() {
+        let s = PowerSampler::default();
+        let sparse: Vec<PowerSample> = (0..5)
+            .map(|i| PowerSample { t: i as f64 * 100.0, watts: 100.0 })
+            .collect();
+        // 600 s job with 5 samples: rate far below 10/min.
+        assert_eq!(s.integrate(600.0, &sparse), None);
+        // A dense 12-sample trace on a 60 s job passes.
+        let dense: Vec<PowerSample> = (0..12)
+            .map(|i| PowerSample { t: i as f64 * 5.0, watts: 100.0 })
+            .collect();
+        assert!(s.integrate(60.0, &dense).is_some());
+    }
+
+    #[test]
+    fn sampled_trace_covers_job_and_respects_gaps() {
+        let s = PowerSampler {
+            job_level_noise: 0.0,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let runtime = 300.0;
+        let trace = s.sample_trace(runtime, 250.0, &mut rng);
+        // Expected samples: 300 scheduled * 0.8 kept ~ 240.
+        assert!(trace.len() > 200 && trace.len() < 280, "{}", trace.len());
+        assert!(trace.iter().all(|p| p.t >= 0.0 && p.t < runtime));
+        // Strictly increasing timestamps.
+        assert!(trace.windows(2).all(|w| w[1].t > w[0].t));
+        // Watts near the mean.
+        let avg = trace.iter().map(|p| p.watts).sum::<f64>() / trace.len() as f64;
+        assert!((avg - 250.0).abs() / 250.0 < 0.05, "avg {avg}");
+    }
+
+    #[test]
+    fn energy_estimate_close_to_truth_for_long_jobs() {
+        // Job-level noise off: this test isolates integration accuracy.
+        let s = PowerSampler {
+            job_level_noise: 0.0,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let runtime = 200.0;
+        let mean_watts = 300.0;
+        let mut errs = Vec::new();
+        for _ in 0..50 {
+            let trace = s.sample_trace(runtime, mean_watts, &mut rng);
+            if let Some(e) = s.integrate(runtime, &trace) {
+                errs.push((e - mean_watts * runtime).abs() / (mean_watts * runtime));
+            }
+        }
+        assert!(!errs.is_empty());
+        let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mean_err < 0.03, "mean relative error {mean_err}");
+    }
+
+    #[test]
+    fn short_jobs_usually_dropped() {
+        let s = PowerSampler::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut kept = 0;
+        for _ in 0..100 {
+            let trace = s.sample_trace(2.0, 250.0, &mut rng);
+            if s.integrate(2.0, &trace).is_some() {
+                kept += 1;
+            }
+        }
+        // 2 s jobs get at most one scheduled sample: essentially all dropped.
+        assert!(kept < 10, "kept {kept}");
+    }
+
+    #[test]
+    fn zero_runtime_trace_is_empty() {
+        let s = PowerSampler::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(s.sample_trace(0.0, 100.0, &mut rng).is_empty());
+    }
+}

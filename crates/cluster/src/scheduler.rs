@@ -1,0 +1,307 @@
+//! SLURM stand-in: FCFS node allocation with conservative backfill.
+//!
+//! The paper submits HPGMG-FE batches to SLURM 15.08, which "managed their
+//! execution on the available nodes". The simulator reproduces the part
+//! that matters for the datasets — which jobs run, on how many nodes, in
+//! what order, with what queue wait — as a deterministic discrete-event
+//! simulation over the 4-node cluster.
+//!
+//! Policy: jobs are queued FCFS. Whenever nodes free up, the head of the
+//! queue starts if it fits; otherwise later jobs may *backfill* onto idle
+//! nodes, but only if their (known) runtime would not delay the head job's
+//! earliest possible start — conservative backfill, SLURM's default
+//! `backfill` behaviour for this setting.
+
+use crate::job::{JobRecord, JobRequest};
+use alperf_hpgmg::model::PerfModel;
+use std::collections::BinaryHeap;
+
+/// One queued entry: request + measured runtime (the simulator knows the
+/// sampled runtime up front; SLURM knows the user's estimate — for
+/// benchmark batches these coincide well enough for scheduling shape).
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    idx: usize,
+    nodes: usize,
+    runtime: f64,
+}
+
+/// A running job's completion event, ordered by end time (min-heap).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Completion {
+    end: f64,
+    nodes: usize,
+}
+
+impl Eq for Completion {}
+
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for min-heap on end time; tie-break on node count for
+        // total determinism.
+        other
+            .end
+            .partial_cmp(&self.end)
+            .expect("end times are finite")
+            .then(other.nodes.cmp(&self.nodes))
+    }
+}
+
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Outcome of scheduling one batch.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Per-job `(start_time, nodes)` in submission order.
+    pub placements: Vec<(f64, usize)>,
+    /// Simulation time when the last job finishes.
+    pub makespan: f64,
+}
+
+/// Schedule a batch of jobs (all submitted at `t = 0`) onto the cluster.
+///
+/// `runtimes[i]` is the execution time of `requests[i]`.
+///
+/// # Panics
+/// Panics if a job needs more nodes than the cluster has, or input lengths
+/// differ.
+pub fn schedule_batch(model: &PerfModel, requests: &[JobRequest], runtimes: &[f64]) -> Schedule {
+    assert_eq!(requests.len(), runtimes.len(), "schedule: length mismatch");
+    let total_nodes = model.machine.nodes;
+    let mut queue: Vec<Queued> = requests
+        .iter()
+        .zip(runtimes)
+        .enumerate()
+        .map(|(idx, (r, &rt))| {
+            let nodes = model.machine.nodes_used(r.np);
+            assert!(nodes <= total_nodes, "job {idx} needs {nodes} nodes > cluster {total_nodes}");
+            Queued { idx, nodes, runtime: rt }
+        })
+        .collect();
+    let mut placements = vec![(0.0, 0usize); requests.len()];
+    let mut running: BinaryHeap<Completion> = BinaryHeap::new();
+    let mut free = total_nodes;
+    let mut now = 0.0f64;
+    let mut makespan = 0.0f64;
+
+    while !queue.is_empty() {
+        // Start the queue head if it fits; else backfill.
+        let mut started_any = false;
+        let mut i = 0;
+        // Head's earliest start: time when enough nodes will be free.
+        let head_nodes = queue[0].nodes;
+        let head_start = earliest_start(now, free, head_nodes, &running);
+        while i < queue.len() {
+            let q = queue[i];
+            let can_start_now = q.nodes <= free
+                && (i == 0
+                    // Conservative backfill: must finish by the head's
+                    // reserved start (or not interfere with its nodes).
+                    || now + q.runtime <= head_start
+                    || free - q.nodes >= head_nodes);
+            if can_start_now {
+                free -= q.nodes;
+                placements[q.idx] = (now, q.nodes);
+                running.push(Completion {
+                    end: now + q.runtime,
+                    nodes: q.nodes,
+                });
+                makespan = makespan.max(now + q.runtime);
+                queue.remove(i);
+                started_any = true;
+                if i == 0 {
+                    // New head: recompute reservation next outer pass.
+                    break;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        if started_any {
+            continue;
+        }
+        // Nothing could start: advance time to the next completion.
+        let c = running
+            .pop()
+            .expect("queue non-empty but nothing running: job larger than cluster?");
+        now = c.end;
+        free += c.nodes;
+        // Drain simultaneous completions.
+        while let Some(peek) = running.peek() {
+            if peek.end <= now {
+                free += peek.nodes;
+                running.pop();
+            } else {
+                break;
+            }
+        }
+    }
+    Schedule { placements, makespan }
+}
+
+/// Earliest time at which `need` nodes can be free, given current free
+/// nodes and the running set.
+fn earliest_start(now: f64, free: usize, need: usize, running: &BinaryHeap<Completion>) -> f64 {
+    if need <= free {
+        return now;
+    }
+    let mut avail = free;
+    let mut completions: Vec<Completion> = running.clone().into_sorted_vec();
+    // into_sorted_vec sorts ascending by Ord; our Ord is reversed, so the
+    // vector comes out descending by end time — walk it from the back.
+    completions.reverse();
+    for c in completions {
+        avail += c.nodes;
+        if avail >= need {
+            return c.end;
+        }
+    }
+    f64::INFINITY
+}
+
+/// Convenience: build full job records by scheduling a batch and attaching
+/// measured runtimes (energy filled in later by the campaign layer).
+pub fn run_batch(
+    model: &PerfModel,
+    requests: &[JobRequest],
+    runtimes: &[f64],
+) -> Vec<JobRecord> {
+    let sched = schedule_batch(model, requests, runtimes);
+    requests
+        .iter()
+        .zip(runtimes)
+        .zip(&sched.placements)
+        .map(|((req, &rt), &(start, nodes))| JobRecord {
+            request: *req,
+            submit_time: 0.0,
+            start_time: start,
+            runtime: rt,
+            nodes,
+            energy: None,
+            memory_per_node: 0.0,
+            power_samples: 0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alperf_hpgmg::operator::OperatorKind;
+
+    fn model() -> PerfModel {
+        PerfModel::calibrated()
+    }
+
+    fn req(np: usize) -> JobRequest {
+        JobRequest {
+            op: OperatorKind::Poisson1,
+            size: 1e6,
+            np,
+            freq: 2.4,
+            repeat: 0,
+        }
+    }
+
+    #[test]
+    fn single_job_starts_immediately() {
+        let m = model();
+        let s = schedule_batch(&m, &[req(64)], &[10.0]);
+        assert_eq!(s.placements[0], (0.0, 4));
+        assert_eq!(s.makespan, 10.0);
+    }
+
+    #[test]
+    fn two_small_jobs_run_concurrently() {
+        let m = model();
+        // Two 1-node jobs on a 4-node cluster.
+        let s = schedule_batch(&m, &[req(16), req(16)], &[10.0, 10.0]);
+        assert_eq!(s.placements[0].0, 0.0);
+        assert_eq!(s.placements[1].0, 0.0);
+        assert_eq!(s.makespan, 10.0);
+    }
+
+    #[test]
+    fn full_cluster_jobs_serialize() {
+        let m = model();
+        let s = schedule_batch(&m, &[req(64), req(64)], &[10.0, 5.0]);
+        assert_eq!(s.placements[0].0, 0.0);
+        assert_eq!(s.placements[1].0, 10.0);
+        assert_eq!(s.makespan, 15.0);
+    }
+
+    #[test]
+    fn backfill_fills_idle_nodes_without_delaying_head() {
+        let m = model();
+        // Job 0: 3 nodes, 10 s. Job 1 (head of the remaining queue): 4
+        // nodes — must wait for everything. Job 2: 1 node, 5 s — backfills
+        // beside job 0 because it finishes (t=5) before job 1 could start
+        // (t=10) anyway.
+        let jobs = [req(48), req(64), req(16)];
+        let s = schedule_batch(&m, &jobs, &[10.0, 10.0, 5.0]);
+        assert_eq!(s.placements[0].0, 0.0);
+        assert_eq!(s.placements[2].0, 0.0, "short job should backfill");
+        assert_eq!(s.placements[1].0, 10.0, "head must not be delayed");
+    }
+
+    #[test]
+    fn backfill_never_delays_head_job() {
+        let m = model();
+        // Job 2 is long (20 s): starting it would delay the 4-node head
+        // (earliest start t=10), so it must NOT backfill.
+        let jobs = [req(48), req(64), req(16)];
+        let s = schedule_batch(&m, &jobs, &[10.0, 10.0, 20.0]);
+        assert_eq!(s.placements[1].0, 10.0);
+        // Long 1-node job starts only after the head.
+        assert!(s.placements[2].0 >= 10.0, "{:?}", s.placements);
+    }
+
+    #[test]
+    fn fcfs_order_preserved_for_equal_jobs() {
+        let m = model();
+        let jobs = [req(64), req(64), req(64)];
+        let s = schedule_batch(&m, &jobs, &[1.0, 2.0, 3.0]);
+        assert!(s.placements[0].0 < s.placements[1].0);
+        assert!(s.placements[1].0 < s.placements[2].0);
+        assert_eq!(s.makespan, 6.0);
+    }
+
+    #[test]
+    fn makespan_bounded_by_serial_sum() {
+        let m = model();
+        let jobs = [req(16), req(32), req(64), req(16), req(48)];
+        let runtimes = [3.0, 7.0, 2.0, 5.0, 1.0];
+        let s = schedule_batch(&m, &jobs, &runtimes);
+        let serial: f64 = runtimes.iter().sum();
+        assert!(s.makespan <= serial + 1e-12);
+        // And at least the longest single job.
+        assert!(s.makespan >= 7.0);
+    }
+
+    #[test]
+    fn run_batch_produces_records() {
+        let m = model();
+        let jobs = [req(16), req(128)];
+        let recs = run_batch(&m, &jobs, &[2.0, 4.0]);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].nodes, 1);
+        assert_eq!(recs[1].nodes, 4);
+        assert!(recs.iter().all(|r| r.energy.is_none()));
+        assert_eq!(recs[1].cost(), 4.0 * 128.0);
+    }
+
+    #[test]
+    fn deterministic_schedule() {
+        let m = model();
+        let jobs: Vec<JobRequest> = (0..20).map(|i| req([16, 32, 48, 64][i % 4])).collect();
+        let runtimes: Vec<f64> = (0..20).map(|i| 1.0 + (i % 7) as f64).collect();
+        let a = schedule_batch(&m, &jobs, &runtimes);
+        let b = schedule_batch(&m, &jobs, &runtimes);
+        assert_eq!(a.placements, b.placements);
+        assert_eq!(a.makespan, b.makespan);
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-setting aggregation of repeated measurements.
+//!
+//! The paper's datasets contain "up to 3 repeated experiments for every
+//! combination of the controlled variables"; analysts routinely want the
+//! per-setting mean, spread and count — both for Table-I-style noise
+//! characterization (the Power dataset is "much" noisier) and to feed
+//! aggregated responses into models that assume one observation per point.
+
+use crate::dataset::{ColumnKind, DataSet, DataSetError};
+use alperf_linalg::stats;
+
+/// Aggregate of one response over one group of identical settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SettingAggregate {
+    /// Variable values identifying the setting (declaration order).
+    pub setting: Vec<f64>,
+    /// Number of repeated measurements.
+    pub count: usize,
+    /// Mean response.
+    pub mean: f64,
+    /// Sample standard deviation (0 for singleton groups).
+    pub std: f64,
+    /// Minimum observed response.
+    pub min: f64,
+    /// Maximum observed response.
+    pub max: f64,
+}
+
+/// Aggregate `response` over groups of identical variable settings.
+///
+/// # Errors
+/// Unknown response or variable columns.
+pub fn aggregate_response(
+    data: &DataSet,
+    response: &str,
+) -> Result<Vec<SettingAggregate>, DataSetError> {
+    let vars = data.variable_names();
+    let groups = data.group_by_settings(&vars)?;
+    let col = data.response(response)?;
+    Ok(groups
+        .into_iter()
+        .map(|(setting, rows)| {
+            let vals: Vec<f64> = rows.iter().map(|&i| col[i]).collect();
+            SettingAggregate {
+                setting,
+                count: vals.len(),
+                mean: stats::mean(&vals),
+                std: stats::std_dev(&vals),
+                min: stats::min(&vals).expect("non-empty group"),
+                max: stats::max(&vals).expect("non-empty group"),
+            }
+        })
+        .collect())
+}
+
+/// Collapse repeated measurements into a new dataset with one row per
+/// setting and the response replaced by its per-setting mean; an extra
+/// response column `<response>_std` carries the spread and `<response>_n`
+/// the repeat count.
+///
+/// # Errors
+/// Unknown columns; assembly errors cannot occur for well-formed input.
+pub fn collapse_repeats(data: &DataSet, response: &str) -> Result<DataSet, DataSetError> {
+    let vars = data.variable_names();
+    let groups = data.group_by_settings(&vars)?;
+    let aggregates = aggregate_response(data, response)?;
+    let mut out = DataSet::new();
+    // Variable columns: first row of each group, preserving categoricals.
+    for (j, name) in vars.iter().enumerate() {
+        let var = data.variable(name)?;
+        let col: Vec<f64> = groups.iter().map(|(setting, _)| setting[j]).collect();
+        match &var.kind {
+            ColumnKind::Numeric => out.add_numeric_variable(name, col)?,
+            ColumnKind::Categorical { levels } => {
+                let strs: Vec<&str> = col.iter().map(|&v| levels[v as usize].as_str()).collect();
+                out.add_categorical_variable(name, &strs)?;
+            }
+        }
+    }
+    out.add_response(response, aggregates.iter().map(|a| a.mean).collect())?;
+    out.add_response(
+        &format!("{response}_std"),
+        aggregates.iter().map(|a| a.std).collect(),
+    )?;
+    out.add_response(
+        &format!("{response}_n"),
+        aggregates.iter().map(|a| a.count as f64).collect(),
+    )?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_repeats() -> DataSet {
+        let mut d = DataSet::new();
+        d.add_categorical_variable("op", &["a", "a", "a", "b", "b"]).unwrap();
+        d.add_numeric_variable("size", vec![10.0, 10.0, 20.0, 10.0, 10.0]).unwrap();
+        d.add_response("rt", vec![1.0, 3.0, 5.0, 7.0, 9.0]).unwrap();
+        d
+    }
+
+    #[test]
+    fn aggregates_compute_group_statistics() {
+        let aggs = aggregate_response(&with_repeats(), "rt").unwrap();
+        // Groups: (a,10)x2, (a,20)x1, (b,10)x2.
+        assert_eq!(aggs.len(), 3);
+        let g = aggs.iter().find(|a| a.setting == vec![0.0, 10.0]).unwrap();
+        assert_eq!(g.count, 2);
+        assert_eq!(g.mean, 2.0);
+        assert!((g.std - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!((g.min, g.max), (1.0, 3.0));
+        let singleton = aggs.iter().find(|a| a.setting == vec![0.0, 20.0]).unwrap();
+        assert_eq!(singleton.count, 1);
+        assert_eq!(singleton.std, 0.0);
+    }
+
+    #[test]
+    fn collapse_produces_one_row_per_setting() {
+        let c = collapse_repeats(&with_repeats(), "rt").unwrap();
+        assert_eq!(c.n_rows(), 3);
+        assert_eq!(c.response_names(), vec!["rt", "rt_n", "rt_std"]);
+        // Categorical levels survive.
+        assert_eq!(c.level_index("op", "b").unwrap(), 1);
+        let n = c.response("rt_n").unwrap();
+        assert_eq!(n.iter().sum::<f64>(), 5.0);
+    }
+
+    #[test]
+    fn collapse_is_idempotent_on_unique_settings() {
+        let c1 = collapse_repeats(&with_repeats(), "rt").unwrap();
+        let c2 = collapse_repeats(&c1, "rt").unwrap();
+        assert_eq!(c2.n_rows(), c1.n_rows());
+        assert_eq!(c2.response("rt").unwrap(), c1.response("rt").unwrap());
+    }
+
+    #[test]
+    fn unknown_response_rejected() {
+        assert!(aggregate_response(&with_repeats(), "nope").is_err());
+        assert!(collapse_repeats(&with_repeats(), "nope").is_err());
+    }
+}

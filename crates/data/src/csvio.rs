@@ -1,0 +1,223 @@
+//! CSV persistence for datasets.
+//!
+//! The paper publishes its measurement database as CSV files; the
+//! reproduction binaries write their generated datasets and figure series
+//! the same way (under `target/repro/`). The format is deliberately plain:
+//! a header row, comma separation, categorical levels written by name.
+//! Level names must therefore not contain commas — enforced on write.
+
+use crate::dataset::{ColumnKind, DataSet, DataSetError};
+use std::io::{BufRead, Write};
+
+/// Serialize a dataset to CSV text: variables first (declaration order),
+/// then responses (alphabetical, as stored).
+///
+/// # Errors
+/// `DataSetError::Invalid` if a categorical level contains a comma or
+/// newline.
+pub fn to_csv(data: &DataSet) -> Result<String, DataSetError> {
+    let var_names = data.variable_names();
+    let resp_names = data.response_names();
+    let mut out = String::new();
+    let header: Vec<&str> = var_names.iter().chain(resp_names.iter()).copied().collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    // Pre-borrow columns.
+    let vars: Vec<_> = var_names
+        .iter()
+        .map(|n| data.variable(n).expect("name from dataset"))
+        .collect();
+    let resps: Vec<&[f64]> = resp_names
+        .iter()
+        .map(|n| data.response(n).expect("name from dataset"))
+        .collect();
+    for v in &vars {
+        if let ColumnKind::Categorical { levels } = &v.kind {
+            if let Some(bad) = levels.iter().find(|l| l.contains(',') || l.contains('\n')) {
+                return Err(DataSetError::Invalid(format!(
+                    "level {bad:?} of {} cannot be written to CSV",
+                    v.name
+                )));
+            }
+        }
+    }
+    for i in 0..data.n_rows() {
+        let mut fields: Vec<String> = Vec::with_capacity(vars.len() + resps.len());
+        for v in &vars {
+            match &v.kind {
+                ColumnKind::Numeric => fields.push(format_float(v.values[i])),
+                ColumnKind::Categorical { levels } => {
+                    fields.push(levels[v.values[i] as usize].clone())
+                }
+            }
+        }
+        for r in &resps {
+            fields.push(format_float(r[i]));
+        }
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Format a float compactly but round-trip exactly.
+fn format_float(v: f64) -> String {
+    // Ryu-style shortest representation is what `{}` gives for f64 in Rust.
+    format!("{v}")
+}
+
+/// Parse a dataset from CSV text. `response_names` identifies which header
+/// columns are responses; every other column becomes a variable. Columns
+/// whose values all parse as `f64` become numeric; anything else becomes
+/// categorical.
+pub fn from_csv(text: &str, response_names: &[&str]) -> Result<DataSet, DataSetError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| DataSetError::Invalid("empty CSV".into()))?;
+    let names: Vec<&str> = header.split(',').collect();
+    let mut columns: Vec<Vec<String>> = vec![Vec::new(); names.len()];
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != names.len() {
+            return Err(DataSetError::Invalid(format!(
+                "line {} has {} fields, header has {}",
+                lineno + 2,
+                fields.len(),
+                names.len()
+            )));
+        }
+        for (col, f) in columns.iter_mut().zip(&fields) {
+            col.push(f.to_string());
+        }
+    }
+    let mut data = DataSet::new();
+    for (name, col) in names.iter().zip(&columns) {
+        let parsed: Option<Vec<f64>> = col.iter().map(|s| s.parse::<f64>().ok()).collect();
+        if response_names.contains(name) {
+            let vals = parsed.ok_or_else(|| {
+                DataSetError::Invalid(format!("response column {name} is not numeric"))
+            })?;
+            data.add_response(name, vals)?;
+        } else {
+            match parsed {
+                Some(vals) => data.add_numeric_variable(name, vals)?,
+                None => {
+                    let strs: Vec<&str> = col.iter().map(|s| s.as_str()).collect();
+                    data.add_categorical_variable(name, &strs)?;
+                }
+            }
+        }
+    }
+    Ok(data)
+}
+
+/// Write a dataset to a file.
+pub fn write_file(data: &DataSet, path: &std::path::Path) -> std::io::Result<()> {
+    let csv = to_csv(data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(csv.as_bytes())
+}
+
+/// Read a dataset from a file.
+pub fn read_file(path: &std::path::Path, response_names: &[&str]) -> std::io::Result<DataSet> {
+    let f = std::fs::File::open(path)?;
+    let mut text = String::new();
+    for line in std::io::BufReader::new(f).lines() {
+        text.push_str(&line?);
+        text.push('\n');
+    }
+    from_csv(&text, response_names).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataSet {
+        let mut d = DataSet::new();
+        d.add_categorical_variable("op", &["p1", "p2", "p1"]).unwrap();
+        d.add_numeric_variable("size", vec![1e3, 1e6, 1e9]).unwrap();
+        d.add_response("runtime", vec![0.005, 1.25, 458.436]).unwrap();
+        d
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let d = sample();
+        let csv = to_csv(&d).unwrap();
+        let back = from_csv(&csv, &["runtime"]).unwrap();
+        assert_eq!(back.n_rows(), 3);
+        assert_eq!(back.variable_names(), vec!["op", "size"]);
+        assert_eq!(back.response("runtime").unwrap(), d.response("runtime").unwrap());
+        assert_eq!(back.variable("op").unwrap().values, d.variable("op").unwrap().values);
+        assert_eq!(back.variable("size").unwrap().values, d.variable("size").unwrap().values);
+    }
+
+    #[test]
+    fn header_layout() {
+        let csv = to_csv(&sample()).unwrap();
+        let first = csv.lines().next().unwrap();
+        assert_eq!(first, "op,size,runtime");
+    }
+
+    #[test]
+    fn exact_float_round_trip() {
+        let mut d = DataSet::new();
+        d.add_numeric_variable("x", vec![std::f64::consts::PI, 1e-300, -0.0]).unwrap();
+        d.add_response("y", vec![1.0 / 3.0, f64::MAX, 5e-324]).unwrap();
+        let back = from_csv(&to_csv(&d).unwrap(), &["y"]).unwrap();
+        for (a, b) in d
+            .response("y")
+            .unwrap()
+            .iter()
+            .zip(back.response("y").unwrap())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn bad_level_rejected_on_write() {
+        let mut d = DataSet::new();
+        d.add_categorical_variable("op", &["a,b"]).unwrap();
+        d.add_response("y", vec![1.0]).unwrap();
+        assert!(to_csv(&d).is_err());
+    }
+
+    #[test]
+    fn ragged_csv_rejected() {
+        let r = from_csv("a,b\n1,2\n3\n", &["b"]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_csv_rejected() {
+        assert!(from_csv("", &[]).is_err());
+    }
+
+    #[test]
+    fn non_numeric_response_rejected() {
+        assert!(from_csv("a,y\nfoo,bar\n", &["y"]).is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let d = from_csv("x,y\n1,2\n\n3,4\n", &["y"]).unwrap();
+        assert_eq!(d.n_rows(), 2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("alperf_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.csv");
+        write_file(&sample(), &path).unwrap();
+        let back = read_file(&path, &["runtime"]).unwrap();
+        assert_eq!(back.n_rows(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,170 @@
+//! Initial / Active / Test random partitions.
+//!
+//! The paper's prototype "partitions [the dataset] into 3 sets: Initial (for
+//! initial regression training), Active (for one-at-a-time experiment
+//! selection with AL), and Test (for prediction quality analysis)", typically
+//! with a *single* initial experiment and the remainder split roughly 8:2
+//! between Active and Test (Section IV). Batch AL evaluation repeats the
+//! whole process over many random partitions (Figs. 7–8), so partitions are
+//! seeded and reproducible.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A disjoint split of row indices `0..n` into Initial, Active and Test sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Rows used to train the very first GPR (usually a single row).
+    pub initial: Vec<usize>,
+    /// Pool of candidate experiments for Active Learning.
+    pub active: Vec<usize>,
+    /// Held-out rows for RMSE evaluation (Eq. 2).
+    pub test: Vec<usize>,
+}
+
+impl Partition {
+    /// Random partition of `n` rows: `n_initial` seed rows, then the
+    /// remainder split by `active_fraction` (paper: 0.8) between Active and
+    /// Test. Deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics if `n_initial > n` or `active_fraction` is outside `[0, 1]`.
+    pub fn random(n: usize, n_initial: usize, active_fraction: f64, seed: u64) -> Self {
+        assert!(n_initial <= n, "n_initial={n_initial} exceeds n={n}");
+        assert!(
+            (0.0..=1.0).contains(&active_fraction),
+            "active_fraction must be in [0,1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut rng);
+        let initial: Vec<usize> = idx[..n_initial].to_vec();
+        let rest = &idx[n_initial..];
+        let n_active = (rest.len() as f64 * active_fraction).round() as usize;
+        Partition {
+            initial,
+            active: rest[..n_active].to_vec(),
+            test: rest[n_active..].to_vec(),
+        }
+    }
+
+    /// The paper's default: one initial experiment, 8:2 Active:Test.
+    ///
+    /// ```
+    /// let p = alperf_data::Partition::paper_default(251, 0);
+    /// assert_eq!(p.initial.len(), 1);
+    /// assert_eq!(p.active.len(), 200);
+    /// assert_eq!(p.test.len(), 50);
+    /// assert!(p.is_valid_cover(251));
+    /// ```
+    pub fn paper_default(n: usize, seed: u64) -> Self {
+        Partition::random(n, 1.min(n), 0.8, seed)
+    }
+
+    /// Total rows covered.
+    pub fn len(&self) -> usize {
+        self.initial.len() + self.active.len() + self.test.len()
+    }
+
+    /// True when all three sets are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Verify the partition is a disjoint, exhaustive cover of `0..n`.
+    pub fn is_valid_cover(&self, n: usize) -> bool {
+        if self.len() != n {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        for &i in self
+            .initial
+            .iter()
+            .chain(self.active.iter())
+            .chain(self.test.iter())
+        {
+            if i >= n || seen[i] {
+                return false;
+            }
+            seen[i] = true;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_follow_fractions() {
+        let p = Partition::random(101, 1, 0.8, 0);
+        assert_eq!(p.initial.len(), 1);
+        assert_eq!(p.active.len(), 80);
+        assert_eq!(p.test.len(), 20);
+        assert!(p.is_valid_cover(101));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = Partition::random(50, 2, 0.7, 42);
+        let b = Partition::random(50, 2, 0.7, 42);
+        assert_eq!(a, b);
+        let c = Partition::random(50, 2, 0.7, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn paper_default_has_single_initial() {
+        let p = Partition::paper_default(251, 7);
+        assert_eq!(p.initial.len(), 1);
+        assert!(p.is_valid_cover(251));
+        // 250 remaining, 8:2 => 200 active, 50 test.
+        assert_eq!(p.active.len(), 200);
+        assert_eq!(p.test.len(), 50);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let p = Partition::random(1, 1, 0.8, 0);
+        assert_eq!(p.initial, vec![0]);
+        assert!(p.active.is_empty());
+        assert!(p.test.is_empty());
+        let e = Partition::random(0, 0, 0.5, 0);
+        assert!(e.is_empty());
+        assert!(e.is_valid_cover(0));
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let all_active = Partition::random(11, 1, 1.0, 3);
+        assert_eq!(all_active.active.len(), 10);
+        assert!(all_active.test.is_empty());
+        let all_test = Partition::random(11, 1, 0.0, 3);
+        assert!(all_test.active.is_empty());
+        assert_eq!(all_test.test.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn initial_larger_than_n_panics() {
+        Partition::random(3, 4, 0.5, 0);
+    }
+
+    #[test]
+    fn cover_validation_catches_duplicates() {
+        let p = Partition {
+            initial: vec![0],
+            active: vec![0],
+            test: vec![1],
+        };
+        assert!(!p.is_valid_cover(3)); // wrong size
+        let q = Partition {
+            initial: vec![0],
+            active: vec![0, 1],
+            test: vec![],
+        };
+        assert!(!q.is_valid_cover(3)); // duplicate 0
+    }
+}

@@ -1,0 +1,158 @@
+//! Table I-style dataset summaries.
+//!
+//! The paper's Table I reports, per dataset: job count, response list with
+//! observed ranges, and each controlled variable with its levels or range.
+//! [`summarize`] computes the same facts; the `repro_table1` binary formats
+//! them as the table.
+
+use crate::dataset::{ColumnKind, DataSet};
+use alperf_linalg::stats;
+
+/// Summary of one column (variable or response).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSummary {
+    /// Column name.
+    pub name: String,
+    /// Observed minimum (numeric columns).
+    pub min: f64,
+    /// Observed maximum.
+    pub max: f64,
+    /// Mean value.
+    pub mean: f64,
+    /// Number of distinct values (levels for categoricals).
+    pub n_distinct: usize,
+    /// Level names for categorical variables.
+    pub levels: Option<Vec<String>>,
+}
+
+/// Whole-dataset summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSetSummary {
+    /// Number of jobs (rows).
+    pub n_jobs: usize,
+    /// Per-variable summaries, in declaration order.
+    pub variables: Vec<ColumnSummary>,
+    /// Per-response summaries.
+    pub responses: Vec<ColumnSummary>,
+    /// Maximum number of repeated measurements over identical settings.
+    pub max_repeats: usize,
+}
+
+fn summarize_column(name: &str, values: &[f64], levels: Option<Vec<String>>) -> ColumnSummary {
+    let mut distinct = values.to_vec();
+    distinct.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    distinct.dedup();
+    ColumnSummary {
+        name: name.to_string(),
+        min: stats::min(values).unwrap_or(f64::NAN),
+        max: stats::max(values).unwrap_or(f64::NAN),
+        mean: stats::mean(values),
+        n_distinct: distinct.len(),
+        levels,
+    }
+}
+
+/// Compute the Table I facts for a dataset.
+pub fn summarize(data: &DataSet) -> DataSetSummary {
+    let variables = data
+        .variable_names()
+        .iter()
+        .map(|n| {
+            let v = data.variable(n).expect("name from dataset");
+            let levels = match &v.kind {
+                ColumnKind::Categorical { levels } => Some(levels.clone()),
+                ColumnKind::Numeric => None,
+            };
+            summarize_column(n, &v.values, levels)
+        })
+        .collect();
+    let responses = data
+        .response_names()
+        .iter()
+        .map(|n| summarize_column(n, data.response(n).expect("name from dataset"), None))
+        .collect();
+    let var_names = data.variable_names();
+    let max_repeats = data
+        .group_by_settings(&var_names)
+        .map(|groups| groups.iter().map(|(_, rows)| rows.len()).max().unwrap_or(0))
+        .unwrap_or(0);
+    DataSetSummary {
+        n_jobs: data.n_rows(),
+        variables,
+        responses,
+        max_repeats,
+    }
+}
+
+impl std::fmt::Display for DataSetSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "# Jobs: {}", self.n_jobs)?;
+        writeln!(f, "Max repeats per setting: {}", self.max_repeats)?;
+        for r in &self.responses {
+            writeln!(f, "Response {}: {:.4e} - {:.4e}", r.name, r.min, r.max)?;
+        }
+        for v in &self.variables {
+            match &v.levels {
+                Some(levels) => writeln!(f, "Variable {}: {}", v.name, levels.join(","))?,
+                None => writeln!(
+                    f,
+                    "Variable {}: {:.4e} - {:.4e} ({} levels)",
+                    v.name, v.min, v.max, v.n_distinct
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataSet {
+        let mut d = DataSet::new();
+        d.add_categorical_variable("op", &["p1", "p2", "p1", "p1"]).unwrap();
+        d.add_numeric_variable("size", vec![10.0, 10.0, 20.0, 10.0]).unwrap();
+        d.add_response("runtime", vec![1.0, 4.0, 2.0, 1.1]).unwrap();
+        d
+    }
+
+    #[test]
+    fn counts_and_ranges() {
+        let s = summarize(&sample());
+        assert_eq!(s.n_jobs, 4);
+        assert_eq!(s.responses[0].min, 1.0);
+        assert_eq!(s.responses[0].max, 4.0);
+        assert_eq!(s.variables[1].n_distinct, 2);
+    }
+
+    #[test]
+    fn categorical_levels_reported() {
+        let s = summarize(&sample());
+        assert_eq!(s.variables[0].levels.as_ref().unwrap(), &vec!["p1".to_string(), "p2".to_string()]);
+        assert!(s.variables[1].levels.is_none());
+    }
+
+    #[test]
+    fn repeats_detected() {
+        // Rows 0 and 3 share (p1, 10).
+        let s = summarize(&sample());
+        assert_eq!(s.max_repeats, 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let text = format!("{}", summarize(&sample()));
+        assert!(text.contains("# Jobs: 4"));
+        assert!(text.contains("runtime"));
+        assert!(text.contains("p1,p2"));
+    }
+
+    #[test]
+    fn empty_dataset_summary() {
+        let s = summarize(&DataSet::new());
+        assert_eq!(s.n_jobs, 0);
+        assert!(s.variables.is_empty());
+        assert_eq!(s.max_repeats, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the dataset layer: partitions, transforms,
+//! CSV round-trips, and grid enumeration invariants.
+
+use alperf_data::csvio;
+use alperf_data::dataset::DataSet;
+use alperf_data::grid::{latin_hypercube, Factor, Grid};
+use alperf_data::partition::Partition;
+use alperf_data::transform::Transform;
+use proptest::prelude::*;
+
+proptest! {
+    /// Partitions are always disjoint, exhaustive covers with the requested
+    /// seed-set size and (rounded) active fraction.
+    #[test]
+    fn partitions_are_valid_covers(
+        n in 1usize..400,
+        frac in 0.0..1.0f64,
+        seed in 0u64..1000,
+    ) {
+        let n_initial = 1.min(n);
+        let p = Partition::random(n, n_initial, frac, seed);
+        prop_assert!(p.is_valid_cover(n));
+        prop_assert_eq!(p.initial.len(), n_initial);
+        let rest = n - n_initial;
+        let expect_active = (rest as f64 * frac).round() as usize;
+        prop_assert_eq!(p.active.len(), expect_active);
+    }
+
+    /// Identical seeds give identical partitions; different seeds almost
+    /// always differ (check they at least cover the same set).
+    #[test]
+    fn partitions_deterministic(n in 10usize..200, seed in 0u64..500) {
+        let a = Partition::random(n, 1, 0.8, seed);
+        let b = Partition::random(n, 1, 0.8, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Log transform round-trips within floating-point tolerance on
+    /// positive values spanning many magnitudes.
+    #[test]
+    fn log_transform_round_trip(exp in -300.0..300.0f64) {
+        let v = 10f64.powf(exp / 2.0);
+        let t = Transform::Log10;
+        prop_assume!(t.accepts(v));
+        let back = t.invert(t.apply(v));
+        prop_assert!((back - v).abs() <= 1e-10 * v.abs());
+    }
+
+    /// CSV round-trip preserves every bit of numeric data.
+    #[test]
+    fn csv_round_trip_exact(
+        xs in prop::collection::vec(-1e12..1e12f64, 1..30),
+        ys in prop::collection::vec(1e-12..1e12f64, 1..30),
+    ) {
+        let n = xs.len().min(ys.len());
+        let mut d = DataSet::new();
+        d.add_numeric_variable("x", xs[..n].to_vec()).unwrap();
+        d.add_response("y", ys[..n].to_vec()).unwrap();
+        let text = csvio::to_csv(&d).unwrap();
+        let back = csvio::from_csv(&text, &["y"]).unwrap();
+        prop_assert_eq!(back.n_rows(), n);
+        for i in 0..n {
+            prop_assert_eq!(back.variable("x").unwrap().values[i].to_bits(), xs[i].to_bits());
+            prop_assert_eq!(back.response("y").unwrap()[i].to_bits(), ys[i].to_bits());
+        }
+    }
+
+    /// Grid enumeration visits exactly the cartesian product: right count,
+    /// all distinct, every value a declared level.
+    #[test]
+    fn grid_enumeration_is_cartesian(
+        l1 in prop::collection::vec(-10.0..10.0f64, 1..5),
+        l2 in prop::collection::vec(-10.0..10.0f64, 1..5),
+    ) {
+        let mut u1 = l1.clone();
+        u1.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        u1.dedup();
+        let mut u2 = l2.clone();
+        u2.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        u2.dedup();
+        let g = Grid::new(vec![Factor::new("a", u1.clone()), Factor::new("b", u2.clone())]);
+        let pts = g.points();
+        prop_assert_eq!(pts.len(), u1.len() * u2.len());
+        for p in &pts {
+            prop_assert!(u1.contains(&p[0]));
+            prop_assert!(u2.contains(&p[1]));
+        }
+        // All distinct.
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                prop_assert_ne!(&pts[i], &pts[j]);
+            }
+        }
+    }
+
+    /// Latin hypercube sampling covers each factor's levels within one of
+    /// the perfectly balanced count.
+    #[test]
+    fn latin_hypercube_is_balanced(n_mult in 1usize..5, seed in 0u64..100) {
+        let levels = vec![1.0, 2.0, 3.0, 4.0];
+        let g = Grid::new(vec![
+            Factor::new("a", levels.clone()),
+            Factor::new("b", vec![0.0, 1.0]),
+        ]);
+        let n = n_mult * 4;
+        let pts = latin_hypercube(&g, n, seed);
+        prop_assert_eq!(pts.len(), n);
+        for lvl in &levels {
+            let count = pts.iter().filter(|p| p[0] == *lvl).count();
+            prop_assert_eq!(count, n / 4, "level {} of factor a", lvl);
+        }
+    }
+
+    /// select_rows + fix_variable compose: fixing then counting equals
+    /// counting matching rows directly.
+    #[test]
+    fn fix_variable_counts_match(vals in prop::collection::vec(0..4i32, 1..60)) {
+        let col: Vec<f64> = vals.iter().map(|&v| v as f64).collect();
+        let mut d = DataSet::new();
+        d.add_numeric_variable("v", col.clone()).unwrap();
+        d.add_response("y", vec![1.0; col.len()]).unwrap();
+        for target in 0..4 {
+            let fixed = d.fix_variable("v", target as f64).unwrap();
+            let direct = col.iter().filter(|&&v| v == target as f64).count();
+            prop_assert_eq!(fixed.n_rows(), direct);
+            // The fixed variable is dropped.
+            prop_assert_eq!(fixed.n_variables(), 0);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Log marginal likelihood (Eq. 12) and its analytic gradient.
+//!
+//! With `K_y = K + sigma_n^2 I = L L^T` and `alpha = K_y^{-1} y`:
+//!
+//! ```text
+//! LML = -1/2 y^T alpha - sum_i log L_ii - n/2 log(2 pi)
+//! dLML/dtheta_j = 1/2 tr( (alpha alpha^T - K_y^{-1}) dK_y/dtheta_j )
+//! ```
+//!
+//! `theta` stacks the kernel's log-parameters followed by `log sigma_n`
+//! (when the noise level is optimized). For the noise component,
+//! `dK_y/dlog sigma_n = 2 sigma_n^2 I`, so its gradient entry collapses to
+//! `sigma_n^2 tr(alpha alpha^T - K_y^{-1})` without forming a matrix.
+
+use crate::kernel::Kernel;
+use alperf_linalg::{cholesky::Cholesky, matrix::Matrix, vector::dot, LinalgError};
+use rayon::prelude::*;
+
+/// First jitter magnitude (relative to the mean diagonal) for the Cholesky
+/// retry ladder, and the number of rungs. Matches scikit-learn's behaviour
+/// of bumping `alpha` when the covariance matrix is numerically indefinite.
+const CHOL_JITTER: f64 = 1e-10;
+const CHOL_TRIES: usize = 8;
+
+/// Assemble the `n x n` kernel matrix `K` for training inputs `x`
+/// (rows = points). Parallelizes across rows for large `n`.
+pub fn assemble_covariance(kernel: &dyn Kernel, x: &Matrix) -> Matrix {
+    let n = x.nrows();
+    let mut k = Matrix::zeros(n, n);
+    // Fill the lower triangle (incl. diagonal) in parallel, then mirror.
+    // Row i costs O(i), so plain row chunking is imbalanced but fine for the
+    // n <= few-thousand sizes this workspace sees.
+    if n >= 64 {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let xi = x.row(i);
+                (0..=i).map(|j| kernel.eval(xi, x.row(j))).collect()
+            })
+            .collect();
+        for (i, row) in rows.into_iter().enumerate() {
+            for (j, v) in row.into_iter().enumerate() {
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+    } else {
+        for i in 0..n {
+            for j in 0..=i {
+                let v = kernel.eval(x.row(i), x.row(j));
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+    }
+    k
+}
+
+/// Cross-covariance vector `k_* = [k(x_*, x_i)]_i` (Eq. 9).
+pub fn covariance_vector(kernel: &dyn Kernel, x: &Matrix, xstar: &[f64]) -> Vec<f64> {
+    (0..x.nrows()).map(|i| kernel.eval(xstar, x.row(i))).collect()
+}
+
+/// Result of a marginal-likelihood evaluation that is reused by the model:
+/// the Cholesky factor of `K_y` and the weight vector `alpha`.
+pub struct LmlParts {
+    /// Cholesky factor of `K_y`.
+    pub chol: Cholesky,
+    /// `alpha = K_y^{-1} y`.
+    pub alpha: Vec<f64>,
+    /// Log marginal likelihood value.
+    pub lml: f64,
+}
+
+/// Evaluate the LML (Eq. 12) for the given kernel and noise standard
+/// deviation on `(x, y)`. Also returns the pieces needed for prediction.
+pub fn lml_parts(
+    kernel: &dyn Kernel,
+    noise_std: f64,
+    x: &Matrix,
+    y: &[f64],
+) -> Result<LmlParts, LinalgError> {
+    let n = x.nrows();
+    if y.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "lml",
+            details: format!("X has {n} rows, y has {}", y.len()),
+        });
+    }
+    let mut ky = assemble_covariance(kernel, x);
+    ky.add_diagonal(noise_std * noise_std);
+    let chol = Cholesky::decompose_jittered(&ky, CHOL_JITTER, CHOL_TRIES)?;
+    let alpha = chol.solve(y)?;
+    let lml = -0.5 * dot(y, &alpha)
+        - 0.5 * chol.log_det()
+        - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+    Ok(LmlParts { chol, alpha, lml })
+}
+
+/// Evaluate just the LML value; convenience for plotting likelihood
+/// landscapes (paper Figs. 4 and 5b).
+pub fn lml_value(
+    kernel: &dyn Kernel,
+    noise_std: f64,
+    x: &Matrix,
+    y: &[f64],
+) -> Result<f64, LinalgError> {
+    Ok(lml_parts(kernel, noise_std, x, y)?.lml)
+}
+
+/// Evaluate the LML and its gradient with respect to
+/// `theta = [kernel log-params..., log sigma_n]`.
+///
+/// When `optimize_noise` is `false` the returned gradient omits the final
+/// noise component.
+pub fn lml_and_grad(
+    kernel: &dyn Kernel,
+    noise_std: f64,
+    x: &Matrix,
+    y: &[f64],
+    optimize_noise: bool,
+) -> Result<(f64, Vec<f64>), LinalgError> {
+    let parts = lml_parts(kernel, noise_std, x, y)?;
+    let n = x.nrows();
+    let kinv = parts.chol.inverse()?;
+    // M = alpha alpha^T - K_y^{-1}; symmetric.
+    let np = kernel.n_params();
+    // Accumulate 1/2 sum_ij M_ij dK_ij/dtheta for kernel params, exploiting
+    // symmetry of both M and dK: diagonal once + off-diagonal twice.
+    let grad_k: Vec<f64> = if n >= 64 {
+        (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let mut acc = vec![0.0; np];
+                let xi = x.row(i);
+                let ai = parts.alpha[i];
+                for j in 0..=i {
+                    let m = ai * parts.alpha[j] - kinv[(i, j)];
+                    let w = if i == j { 0.5 } else { 1.0 };
+                    let g = kernel.grad(xi, x.row(j));
+                    for (a, gj) in acc.iter_mut().zip(&g) {
+                        *a += w * m * gj;
+                    }
+                }
+                acc
+            })
+            .reduce(
+                || vec![0.0; np],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x += y;
+                    }
+                    a
+                },
+            )
+    } else {
+        let mut acc = vec![0.0; np];
+        for i in 0..n {
+            let xi = x.row(i);
+            let ai = parts.alpha[i];
+            for j in 0..=i {
+                let m = ai * parts.alpha[j] - kinv[(i, j)];
+                let w = if i == j { 0.5 } else { 1.0 };
+                let g = kernel.grad(xi, x.row(j));
+                for (a, gj) in acc.iter_mut().zip(&g) {
+                    *a += w * m * gj;
+                }
+            }
+        }
+        acc
+    };
+    let mut grad = grad_k;
+    if optimize_noise {
+        // tr(M) * sigma_n^2 with M = alpha alpha^T - K_y^{-1}.
+        let tr_m: f64 = (0..n)
+            .map(|i| parts.alpha[i] * parts.alpha[i] - kinv[(i, i)])
+            .sum();
+        grad.push(noise_std * noise_std * tr_m);
+    }
+    Ok((parts.lml, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SquaredExponential;
+
+    fn toy_data() -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_rows(&[&[0.0], &[0.5], &[1.3], &[2.0], &[2.6]]).unwrap();
+        let y = vec![0.1, 0.4, 0.9, 0.3, -0.5];
+        (x, y)
+    }
+
+    #[test]
+    fn covariance_is_symmetric_with_unit_diag_scale() {
+        let (x, _) = toy_data();
+        let k = SquaredExponential::new(1.0, 2.0);
+        let c = assemble_covariance(&k, &x);
+        for i in 0..x.nrows() {
+            assert!((c[(i, i)] - 4.0).abs() < 1e-14);
+            for j in 0..x.nrows() {
+                assert_eq!(c[(i, j)], c[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_assembly_matches_serial() {
+        // 70 points forces the parallel path; compare against direct eval.
+        let n = 70;
+        let x = Matrix::from_fn(n, 2, |i, j| (i as f64) * 0.1 + (j as f64) * 0.05);
+        let k = SquaredExponential::new(1.3, 0.8);
+        let c = assemble_covariance(&k, &x);
+        for &(i, j) in &[(0usize, 0usize), (69, 69), (12, 55), (55, 12)] {
+            assert!((c[(i, j)] - k.eval(x.row(i), x.row(j))).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn lml_of_single_point_matches_gaussian_logpdf() {
+        // One observation: LML = log N(y | 0, sigma_f^2 + sigma_n^2).
+        let x = Matrix::from_rows(&[&[0.0]]).unwrap();
+        let y = vec![0.7];
+        let sf = 1.5;
+        let sn = 0.3;
+        let k = SquaredExponential::new(1.0, sf);
+        let var = sf * sf + sn * sn;
+        let expect = -0.5 * y[0] * y[0] / var - 0.5 * var.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln();
+        let got = lml_value(&k, sn, &x, &y).unwrap();
+        assert!((got - expect).abs() < 1e-10, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn lml_gradient_matches_finite_difference() {
+        let (x, y) = toy_data();
+        let kernel = SquaredExponential::new(0.9, 1.2);
+        let sn: f64 = 0.25;
+        let (_, grad) = lml_and_grad(&kernel, sn, &x, &y, true).unwrap();
+        assert_eq!(grad.len(), 3);
+        let h = 1e-6;
+        // Kernel params.
+        let p0 = kernel.params();
+        for j in 0..2 {
+            let mut kp = kernel.clone();
+            let mut p = p0.clone();
+            p[j] += h;
+            kp.set_params(&p);
+            let up = lml_value(&kp, sn, &x, &y).unwrap();
+            p[j] -= 2.0 * h;
+            kp.set_params(&p);
+            let dn = lml_value(&kp, sn, &x, &y).unwrap();
+            let fd = (up - dn) / (2.0 * h);
+            assert!(
+                (fd - grad[j]).abs() <= 1e-4 * (1.0 + fd.abs()),
+                "kernel param {j}: fd={fd} analytic={}",
+                grad[j]
+            );
+        }
+        // Noise param (theta = log sigma_n).
+        let up = lml_value(&kernel, (sn.ln() + h).exp(), &x, &y).unwrap();
+        let dn = lml_value(&kernel, (sn.ln() - h).exp(), &x, &y).unwrap();
+        let fd = (up - dn) / (2.0 * h);
+        assert!(
+            (fd - grad[2]).abs() <= 1e-4 * (1.0 + fd.abs()),
+            "noise: fd={fd} analytic={}",
+            grad[2]
+        );
+    }
+
+    #[test]
+    fn grad_excludes_noise_when_not_optimized() {
+        let (x, y) = toy_data();
+        let kernel = SquaredExponential::unit();
+        let (_, grad) = lml_and_grad(&kernel, 0.1, &x, &y, false).unwrap();
+        assert_eq!(grad.len(), 2);
+    }
+
+    #[test]
+    fn higher_noise_explains_scatter_better_than_tiny_noise() {
+        // Pure-noise data around zero: LML should prefer sigma_n ~ data std
+        // over a tiny sigma_n with the same kernel.
+        let x = Matrix::from_rows(&[&[0.0], &[0.1], &[0.2], &[0.3], &[0.4], &[0.5]]).unwrap();
+        let y = vec![0.9, -1.1, 1.0, -0.8, 1.2, -1.0];
+        let k = SquaredExponential::new(5.0, 1.0); // long scale: can't wiggle
+        let low = lml_value(&k, 1e-4, &x, &y).unwrap();
+        let high = lml_value(&k, 1.0, &x, &y).unwrap();
+        assert!(high > low, "high-noise {high} should beat low-noise {low}");
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0]]).unwrap();
+        let y = vec![1.0];
+        assert!(lml_value(&SquaredExponential::unit(), 0.1, &x, &y).is_err());
+    }
+
+    #[test]
+    fn covariance_vector_matches_pointwise() {
+        let (x, _) = toy_data();
+        let k = SquaredExponential::new(0.7, 1.1);
+        let xs = [0.9];
+        let kv = covariance_vector(&k, &x, &xs);
+        assert_eq!(kv.len(), x.nrows());
+        for (i, kvi) in kv.iter().enumerate() {
+            assert_eq!(*kvi, k.eval(&xs, x.row(i)));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Leave-one-out cross-validation pseudo-likelihood.
+//!
+//! Rasmussen & Williams §5.4.2 (the paper's reference [8], Ch. 5) give a
+//! closed form for LOO-CV residuals directly from the full-data solve —
+//! no refitting required:
+//!
+//! ```text
+//! mu_i    = y_i - alpha_i / [K_y^{-1}]_ii        (LOO predictive mean at x_i)
+//! s_i^2   = 1 / [K_y^{-1}]_ii                    (LOO predictive variance)
+//! LOO-LPL = sum_i [ -1/2 log s_i^2 - (y_i - mu_i)^2 / (2 s_i^2) - 1/2 log 2 pi ]
+//! ```
+//!
+//! The paper chooses Bayesian LML for model selection and "leaves the
+//! empirical comparison of the two methods for future work" — this module
+//! provides that second method so the `repro_ablation_noise` experiment can
+//! compare them.
+
+use crate::kernel::Kernel;
+use crate::lml::assemble_covariance;
+use alperf_linalg::{cholesky::Cholesky, matrix::Matrix, LinalgError};
+
+/// LOO-CV summary for a kernel + noise setting on `(x, y)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LooCv {
+    /// Per-point LOO predictive means.
+    pub means: Vec<f64>,
+    /// Per-point LOO predictive standard deviations.
+    pub stds: Vec<f64>,
+    /// Log pseudo-likelihood (higher is better).
+    pub log_pseudo_likelihood: f64,
+    /// Squared-error-loss variant: mean of `(y_i - mu_i)^2`.
+    pub mean_squared_error: f64,
+}
+
+/// Compute LOO-CV residuals and the log pseudo-likelihood.
+///
+/// # Errors
+/// Propagates Cholesky failures; rejects shape mismatches.
+pub fn loo_cv(
+    kernel: &dyn Kernel,
+    noise_std: f64,
+    x: &Matrix,
+    y: &[f64],
+) -> Result<LooCv, LinalgError> {
+    let n = x.nrows();
+    if y.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "loo_cv",
+            details: format!("X has {n} rows, y has {}", y.len()),
+        });
+    }
+    let mut ky = assemble_covariance(kernel, x);
+    ky.add_diagonal(noise_std * noise_std);
+    let chol = Cholesky::decompose_jittered(&ky, 1e-10, 8)?;
+    let alpha = chol.solve(y)?;
+    let kinv = chol.inverse()?;
+    let mut means = Vec::with_capacity(n);
+    let mut stds = Vec::with_capacity(n);
+    let mut lpl = 0.0;
+    let mut mse = 0.0;
+    for i in 0..n {
+        let kii = kinv[(i, i)];
+        if kii <= 0.0 {
+            return Err(LinalgError::NotPositiveDefinite { pivot: i, value: kii });
+        }
+        let s2 = 1.0 / kii;
+        let mu = y[i] - alpha[i] * s2;
+        let r = y[i] - mu;
+        lpl += -0.5 * s2.ln() - r * r / (2.0 * s2) - 0.5 * (2.0 * std::f64::consts::PI).ln();
+        mse += r * r;
+        means.push(mu);
+        stds.push(s2.sqrt());
+    }
+    Ok(LooCv {
+        means,
+        stds,
+        log_pseudo_likelihood: lpl,
+        mean_squared_error: mse / n as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SquaredExponential;
+    use crate::model::Gpr;
+
+    fn data() -> (Matrix, Vec<f64>) {
+        let xs: Vec<f64> = (0..12).map(|i| i as f64 * 0.5).collect();
+        let y: Vec<f64> = xs.iter().map(|v| (0.9 * v).cos()).collect();
+        (Matrix::from_vec(12, 1, xs).unwrap(), y)
+    }
+
+    #[test]
+    fn loo_matches_explicit_refits() {
+        // The closed form must agree with actually dropping each point and
+        // refitting at the same hyperparameters.
+        let (x, y) = data();
+        let kernel = SquaredExponential::new(1.2, 1.0);
+        let sn = 0.2;
+        let loo = loo_cv(&kernel, sn, &x, &y).unwrap();
+        for drop in [0usize, 5, 11] {
+            let keep: Vec<usize> = (0..x.nrows()).filter(|&i| i != drop).collect();
+            let xs = x.select_rows(&keep);
+            let ys: Vec<f64> = keep.iter().map(|&i| y[i]).collect();
+            let g = Gpr::fit(xs, &ys, Box::new(kernel.clone()), sn, false).unwrap();
+            let p = g.predict_one(x.row(drop)).unwrap();
+            assert!(
+                (p.mean - loo.means[drop]).abs() < 1e-8,
+                "mean at {drop}: {} vs {}",
+                p.mean,
+                loo.means[drop]
+            );
+            // LOO variance includes the noise term: s_i^2 = sigma_*^2 + sigma_n^2.
+            let with_noise = (p.std * p.std + sn * sn).sqrt();
+            assert!(
+                (with_noise - loo.stds[drop]).abs() < 1e-8,
+                "std at {drop}: {with_noise} vs {}",
+                loo.stds[drop]
+            );
+        }
+    }
+
+    #[test]
+    fn good_hyperparameters_score_higher() {
+        let (x, y) = data();
+        let good = loo_cv(&SquaredExponential::new(1.2, 1.0), 0.05, &x, &y).unwrap();
+        let bad = loo_cv(&SquaredExponential::new(0.01, 1.0), 0.05, &x, &y).unwrap();
+        assert!(good.log_pseudo_likelihood > bad.log_pseudo_likelihood);
+        assert!(good.mean_squared_error < bad.mean_squared_error);
+    }
+
+    #[test]
+    fn shapes_validated() {
+        let (x, _) = data();
+        assert!(loo_cv(&SquaredExponential::unit(), 0.1, &x, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn outputs_have_point_count_length() {
+        let (x, y) = data();
+        let loo = loo_cv(&SquaredExponential::unit(), 0.1, &x, &y).unwrap();
+        assert_eq!(loo.means.len(), 12);
+        assert_eq!(loo.stds.len(), 12);
+        assert!(loo.stds.iter().all(|s| *s > 0.0));
+    }
+}

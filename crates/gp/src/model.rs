@@ -1,0 +1,599 @@
+//! The fitted Gaussian Process Regression model.
+//!
+//! [`Gpr::fit`] conditions a GP prior (kernel + homoscedastic Gaussian noise,
+//! Eq. 3) on training data and exposes the posterior predictive distribution
+//! of Eqs. 4–10: `mu_* = k_*^T K_y^{-1} y`, `sigma_*^2 = k_** - k_*^T K_y^{-1} k_*`.
+//! The response is standardized internally (zero mean, unit variance) so the
+//! unit-amplitude kernel prior and the paper's noise floors are always on a
+//! sensible scale; predictions are mapped back automatically.
+
+use crate::kernel::Kernel;
+use crate::lml::{self, LmlParts};
+use alperf_linalg::{cholesky::Cholesky, matrix::Matrix, stats::Standardizer, vector::dot, LinalgError};
+
+/// Errors from fitting or using a GPR model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// Underlying linear-algebra failure (singular/indefinite covariance…).
+    Linalg(LinalgError),
+    /// Shape problem in the training data.
+    Dimension(String),
+    /// No training data was provided.
+    Empty,
+}
+
+impl std::fmt::Display for GpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            GpError::Dimension(d) => write!(f, "dimension error: {d}"),
+            GpError::Empty => write!(f, "empty training set"),
+        }
+    }
+}
+
+impl std::error::Error for GpError {}
+
+impl From<LinalgError> for GpError {
+    fn from(e: LinalgError) -> Self {
+        GpError::Linalg(e)
+    }
+}
+
+/// Prediction plus the input-space gradients of the posterior mean and
+/// standard deviation: `(prediction, d mu/dx, d sigma/dx)`.
+pub type PredictionWithGradient = (Prediction, Vec<f64>, Vec<f64>);
+
+/// Posterior predictive distribution at one input point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predictive mean `mu_*` (Eq. 5), on the original response scale.
+    pub mean: f64,
+    /// Predictive standard deviation of the latent function `sqrt(sigma_*^2)`
+    /// (Eq. 6), on the original response scale.
+    pub std: f64,
+}
+
+impl Prediction {
+    /// 95% confidence interval `mean ± 2 std` — the bands drawn in the
+    /// paper's Figs. 3 and 5.
+    pub fn ci95(&self) -> (f64, f64) {
+        (self.mean - 2.0 * self.std, self.mean + 2.0 * self.std)
+    }
+}
+
+/// A Gaussian Process Regression model conditioned on training data.
+pub struct Gpr {
+    kernel: Box<dyn Kernel>,
+    noise_std: f64,
+    x: Matrix,
+    standardizer: Standardizer,
+    chol: Cholesky,
+    alpha: Vec<f64>,
+    y_std: Vec<f64>,
+    lml: f64,
+}
+
+impl Gpr {
+    /// Condition the GP on training inputs `x` (rows = points) and responses
+    /// `y` with the given kernel and noise standard deviation `sigma_n`
+    /// (both interpreted on the standardized response scale when
+    /// `standardize` is true).
+    ///
+    /// # Errors
+    /// [`GpError::Empty`] for zero rows, [`GpError::Dimension`] on a shape
+    /// mismatch, [`GpError::Linalg`] if the covariance cannot be factored.
+    pub fn fit(
+        x: Matrix,
+        y: &[f64],
+        kernel: Box<dyn Kernel>,
+        noise_std: f64,
+        standardize: bool,
+    ) -> Result<Self, GpError> {
+        if x.nrows() == 0 {
+            return Err(GpError::Empty);
+        }
+        if y.len() != x.nrows() {
+            return Err(GpError::Dimension(format!(
+                "X has {} rows but y has {} values",
+                x.nrows(),
+                y.len()
+            )));
+        }
+        if !noise_std.is_finite() || noise_std < 0.0 {
+            return Err(GpError::Dimension(format!(
+                "noise_std must be finite and >= 0, got {noise_std}"
+            )));
+        }
+        let standardizer = if standardize {
+            Standardizer::fit(y)
+        } else {
+            Standardizer::identity()
+        };
+        let y_std = standardizer.apply_vec(y);
+        let LmlParts { chol, alpha, lml } = lml::lml_parts(kernel.as_ref(), noise_std, &x, &y_std)?;
+        Ok(Gpr {
+            kernel,
+            noise_std,
+            x,
+            standardizer,
+            chol,
+            alpha,
+            y_std,
+            lml,
+        })
+    }
+
+    /// Posterior predictive distribution of the latent function at `xstar`
+    /// (Eqs. 4–6), on the original response scale.
+    pub fn predict_one(&self, xstar: &[f64]) -> Result<Prediction, GpError> {
+        if xstar.len() != self.x.ncols() {
+            return Err(GpError::Dimension(format!(
+                "query has {} dims, training data has {}",
+                xstar.len(),
+                self.x.ncols()
+            )));
+        }
+        let kstar = lml::covariance_vector(self.kernel.as_ref(), &self.x, xstar);
+        let mu = dot(&kstar, &self.alpha);
+        // sigma_*^2 = k_** - ||L^{-1} k_*||^2, clamped at zero: rounding can
+        // push the subtraction slightly negative at training points.
+        let z = self.chol.solve_forward(&kstar)?;
+        let var = (self.kernel.diag_value(xstar) - dot(&z, &z)).max(0.0);
+        Ok(Prediction {
+            mean: self.standardizer.inverse(mu),
+            std: self.standardizer.inverse_scale(var.sqrt()),
+        })
+    }
+
+    /// Like [`Gpr::predict_one`] but the predictive variance includes the
+    /// observation noise `sigma_n^2` — the distribution of a *new
+    /// measurement* rather than of the latent function.
+    pub fn predict_one_with_noise(&self, xstar: &[f64]) -> Result<Prediction, GpError> {
+        let p = self.predict_one(xstar)?;
+        let noise_raw = self.standardizer.inverse_scale(self.noise_std);
+        Ok(Prediction {
+            mean: p.mean,
+            std: (p.std * p.std + noise_raw * noise_raw).sqrt(),
+        })
+    }
+
+    /// Predict at every row of `xs`.
+    pub fn predict(&self, xs: &Matrix) -> Result<Vec<Prediction>, GpError> {
+        (0..xs.nrows()).map(|i| self.predict_one(xs.row(i))).collect()
+    }
+
+    /// Log marginal likelihood of the training data under the fitted
+    /// hyperparameters (Eq. 12), on the standardized scale.
+    pub fn lml(&self) -> f64 {
+        self.lml
+    }
+
+    /// The kernel in use.
+    pub fn kernel(&self) -> &dyn Kernel {
+        self.kernel.as_ref()
+    }
+
+    /// Noise standard deviation `sigma_n` (standardized response scale).
+    pub fn noise_std(&self) -> f64 {
+        self.noise_std
+    }
+
+    /// Noise standard deviation mapped back to the original response scale.
+    pub fn noise_std_raw(&self) -> f64 {
+        self.standardizer.inverse_scale(self.noise_std)
+    }
+
+    /// Number of training points.
+    pub fn n_train(&self) -> usize {
+        self.x.nrows()
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.x.ncols()
+    }
+
+    /// Training inputs.
+    pub fn x_train(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// The standardizer applied to the response.
+    pub fn standardizer(&self) -> &Standardizer {
+        &self.standardizer
+    }
+
+    /// Condition-number estimate of `K_y` — large values flag numerically
+    /// fragile fits (length scale far larger than data spread).
+    pub fn condition_estimate(&self) -> f64 {
+        self.chol.condition_estimate()
+    }
+
+    /// Forward triangular solve against the training factor: `L^{-1} v`.
+    /// Building block for joint posterior covariances (see `sample`).
+    pub(crate) fn chol_forward(&self, v: &[f64]) -> Result<Vec<f64>, GpError> {
+        Ok(self.chol.solve_forward(v)?)
+    }
+
+    /// Posterior prediction together with the input-space gradients of the
+    /// mean and standard deviation: `(prediction, d mu/dx, d sigma/dx)`.
+    ///
+    /// ```text
+    /// d mu / dx    = sum_i alpha_i  d k(x, x_i)/dx
+    /// d sigma^2/dx = -2 sum_i (K_y^{-1} k_*)_i  d k(x, x_i)/dx
+    /// d sigma /dx  = (d sigma^2/dx) / (2 sigma)
+    /// ```
+    ///
+    /// Returns `None` if the kernel does not implement
+    /// [`Kernel::grad_x`], or if `sigma = 0` exactly (gradient of the SD is
+    /// undefined at interpolated points).
+    ///
+    /// # Errors
+    /// Propagates dimension/numerical failures like [`Gpr::predict_one`].
+    pub fn predict_with_gradient(
+        &self,
+        xstar: &[f64],
+    ) -> Result<Option<PredictionWithGradient>, GpError> {
+        let p = self.predict_one(xstar)?;
+        let d = self.dim();
+        let n = self.n_train();
+        let kstar = lml::covariance_vector(self.kernel.as_ref(), &self.x, xstar);
+        // w = K_y^{-1} k_*.
+        let w = self.chol.solve(&kstar)?;
+        let mut grad_mu = vec![0.0; d];
+        let mut grad_var = vec![0.0; d];
+        for (i, (&ai, &wi)) in self.alpha.iter().zip(&w).enumerate().take(n) {
+            let Some(gk) = self.kernel.grad_x(xstar, self.x.row(i)) else {
+                return Ok(None);
+            };
+            for j in 0..d {
+                grad_mu[j] += ai * gk[j];
+                grad_var[j] -= 2.0 * wi * gk[j];
+            }
+        }
+        // Map back to the raw response scale.
+        let scale = self.standardizer.std;
+        for g in grad_mu.iter_mut() {
+            *g *= scale;
+        }
+        // sigma (raw) = sigma_std * scale; grad sigma = grad_var_std * scale^2 / (2 sigma_raw).
+        if p.std == 0.0 {
+            return Ok(None);
+        }
+        let grad_sigma: Vec<f64> = grad_var
+            .iter()
+            .map(|gv| gv * scale * scale / (2.0 * p.std))
+            .collect();
+        Ok(Some((p, grad_mu, grad_sigma)))
+    }
+
+    /// Condition on one additional observation `(x_new, y_new)` in
+    /// `O(n^2)` via a rank-one Cholesky extension — the incremental update
+    /// the AL loop performs at every iteration. Hyperparameters, noise
+    /// level, and the response standardizer are kept *frozen* from this
+    /// model (the standardizer would otherwise shift under the new point
+    /// and invalidate the factorization), so periodic full refits remain
+    /// the caller's responsibility.
+    ///
+    /// # Errors
+    /// [`GpError::Dimension`] on shape mismatch; [`GpError::Linalg`] if the
+    /// extended covariance is numerically indefinite (duplicate point with
+    /// near-zero noise) — callers should fall back to a full refit then.
+    pub fn with_observation(&self, x_new: &[f64], y_new: f64) -> Result<Gpr, GpError> {
+        if x_new.len() != self.dim() {
+            return Err(GpError::Dimension(format!(
+                "new point has {} dims, training data has {}",
+                x_new.len(),
+                self.dim()
+            )));
+        }
+        let kvec = lml::covariance_vector(self.kernel.as_ref(), &self.x, x_new);
+        let diag = self.kernel.diag_value(x_new) + self.noise_std * self.noise_std;
+        let chol = self.chol.extend(&kvec, diag)?;
+        let x = self.x.with_row(x_new).expect("dims checked above");
+        let mut y_std = self.y_std.clone();
+        y_std.push(self.standardizer.apply(y_new));
+        let alpha = chol.solve(&y_std)?;
+        let n = x.nrows();
+        let lml = -0.5 * dot(&y_std, &alpha)
+            - 0.5 * chol.log_det()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+        Ok(Gpr {
+            kernel: self.kernel.clone_box(),
+            noise_std: self.noise_std,
+            x,
+            standardizer: self.standardizer,
+            chol,
+            alpha,
+            y_std,
+            lml,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SquaredExponential;
+
+    fn fit_sine(noise: f64) -> Gpr {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.3).collect();
+        let x = Matrix::from_vec(20, 1, xs.clone()).unwrap();
+        let y: Vec<f64> = xs.iter().map(|v| v.sin()).collect();
+        Gpr::fit(x, &y, Box::new(SquaredExponential::new(1.0, 1.0)), noise, true).unwrap()
+    }
+
+    #[test]
+    fn interpolates_training_points_with_small_noise() {
+        let gpr = fit_sine(1e-5);
+        for v in [0.0, 0.9, 3.0, 5.7] {
+            let p = gpr.predict_one(&[v]).unwrap();
+            assert!(
+                (p.mean - v.sin()).abs() < 1e-2,
+                "at {v}: predicted {}, true {}",
+                p.mean,
+                v.sin()
+            );
+        }
+    }
+
+    #[test]
+    fn variance_small_at_data_large_far_away() {
+        let gpr = fit_sine(1e-4);
+        let at_data = gpr.predict_one(&[0.9]).unwrap().std;
+        let far = gpr.predict_one(&[30.0]).unwrap().std;
+        assert!(at_data < 0.05, "std at data = {at_data}");
+        assert!(far > 10.0 * at_data, "far std = {far}");
+    }
+
+    #[test]
+    fn far_field_variance_approaches_prior() {
+        let gpr = fit_sine(1e-4);
+        let p = gpr.predict_one(&[1000.0]).unwrap();
+        // Prior std on the original scale = amplitude * y_std.
+        let expect = 1.0 * gpr.standardizer().std;
+        assert!((p.std - expect).abs() / expect < 1e-6);
+        // Far-field mean reverts to the data mean.
+        assert!((p.mean - gpr.standardizer().mean).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ci95_is_mean_pm_two_std() {
+        let p = Prediction { mean: 1.0, std: 0.25 };
+        assert_eq!(p.ci95(), (0.5, 1.5));
+    }
+
+    #[test]
+    fn with_noise_prediction_is_wider() {
+        let gpr = fit_sine(0.3);
+        let latent = gpr.predict_one(&[0.9]).unwrap();
+        let noisy = gpr.predict_one_with_noise(&[0.9]).unwrap();
+        assert!(noisy.std > latent.std);
+        assert_eq!(noisy.mean, latent.mean);
+    }
+
+    #[test]
+    fn predict_many_matches_one() {
+        let gpr = fit_sine(0.1);
+        let grid = Matrix::from_vec(3, 1, vec![0.1, 2.0, 4.5]).unwrap();
+        let many = gpr.predict(&grid).unwrap();
+        for (i, p) in many.iter().enumerate() {
+            let q = gpr.predict_one(grid.row(i)).unwrap();
+            assert_eq!(p, &q);
+        }
+    }
+
+    #[test]
+    fn empty_training_rejected() {
+        let x = Matrix::zeros(0, 0);
+        let r = Gpr::fit(x, &[], Box::new(SquaredExponential::unit()), 0.1, true);
+        assert!(matches!(r, Err(GpError::Empty)));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0]]).unwrap();
+        assert!(matches!(
+            Gpr::fit(x, &[1.0], Box::new(SquaredExponential::unit()), 0.1, true),
+            Err(GpError::Dimension(_))
+        ));
+    }
+
+    #[test]
+    fn bad_noise_rejected() {
+        let x = Matrix::from_rows(&[&[0.0]]).unwrap();
+        assert!(Gpr::fit(
+            x.clone(),
+            &[1.0],
+            Box::new(SquaredExponential::unit()),
+            f64::NAN,
+            true
+        )
+        .is_err());
+        assert!(Gpr::fit(x, &[1.0], Box::new(SquaredExponential::unit()), -0.1, true).is_err());
+    }
+
+    #[test]
+    fn query_dimension_checked() {
+        let gpr = fit_sine(0.1);
+        assert!(matches!(gpr.predict_one(&[0.0, 1.0]), Err(GpError::Dimension(_))));
+    }
+
+    #[test]
+    fn standardization_reproduces_unstandardized_shape() {
+        // Same data fit with and without standardization must give very
+        // similar predictions when the kernel amplitudes are scaled to match.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64 * 0.5).collect();
+        let x = Matrix::from_vec(10, 1, xs.clone()).unwrap();
+        let y: Vec<f64> = xs.iter().map(|v| 100.0 + 10.0 * v.sin()).collect();
+        let std = alperf_linalg::stats::std_dev(&y);
+        let m = alperf_linalg::stats::mean(&y);
+        let g1 = Gpr::fit(
+            x.clone(),
+            &y,
+            Box::new(SquaredExponential::new(1.0, 1.0)),
+            0.05,
+            true,
+        )
+        .unwrap();
+        // Unstandardized equivalent: amplitude*std, noise*std, centered data.
+        let yc: Vec<f64> = y.iter().map(|v| v - m).collect();
+        let g2 = Gpr::fit(
+            x,
+            &yc,
+            Box::new(SquaredExponential::new(1.0, std)),
+            0.05 * std,
+            false,
+        )
+        .unwrap();
+        for q in [0.3, 2.2, 4.4] {
+            let p1 = g1.predict_one(&[q]).unwrap();
+            let p2 = g2.predict_one(&[q]).unwrap();
+            assert!((p1.mean - (p2.mean + m)).abs() < 1e-8, "q={q}");
+            assert!((p1.std - p2.std).abs() < 1e-8, "q={q}");
+        }
+    }
+
+    #[test]
+    fn accessors_report_shapes() {
+        let gpr = fit_sine(0.1);
+        assert_eq!(gpr.n_train(), 20);
+        assert_eq!(gpr.dim(), 1);
+        assert!(gpr.lml().is_finite());
+        assert!(gpr.condition_estimate() >= 1.0);
+        assert!(gpr.noise_std_raw() > 0.0);
+        assert_eq!(gpr.noise_std(), 0.1);
+    }
+
+    #[test]
+    fn prediction_gradients_match_finite_differences() {
+        let gpr = fit_sine(0.1);
+        let h = 1e-6;
+        for q in [0.45, 2.2, 4.8, 7.5] {
+            let (p, gmu, gsigma) = gpr
+                .predict_with_gradient(&[q])
+                .unwrap()
+                .expect("SE kernel has input gradients");
+            let up = gpr.predict_one(&[q + h]).unwrap();
+            let dn = gpr.predict_one(&[q - h]).unwrap();
+            let fd_mu = (up.mean - dn.mean) / (2.0 * h);
+            let fd_sigma = (up.std - dn.std) / (2.0 * h);
+            assert!(
+                (fd_mu - gmu[0]).abs() <= 1e-4 * (1.0 + fd_mu.abs()),
+                "at {q}: mean fd={fd_mu} analytic={}",
+                gmu[0]
+            );
+            assert!(
+                (fd_sigma - gsigma[0]).abs() <= 1e-4 * (1.0 + fd_sigma.abs()),
+                "at {q}: sigma fd={fd_sigma} analytic={}",
+                gsigma[0]
+            );
+            assert!((p.mean - up.mean).abs() < 1e-3); // same neighbourhood
+        }
+    }
+
+    #[test]
+    fn prediction_gradient_none_for_gradientless_kernel() {
+        let xs: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let y: Vec<f64> = xs.iter().map(|v| v * 0.2).collect();
+        let gpr = Gpr::fit(
+            Matrix::from_vec(6, 1, xs).unwrap(),
+            &y,
+            Box::new(crate::kernel::Matern32::new(1.0, 1.0)),
+            0.1,
+            true,
+        )
+        .unwrap();
+        assert!(gpr.predict_with_gradient(&[2.5]).unwrap().is_none());
+    }
+
+    #[test]
+    fn incremental_update_matches_full_refit() {
+        let xs: Vec<f64> = (0..8).map(|i| i as f64 * 0.7).collect();
+        let y: Vec<f64> = xs.iter().map(|v| (0.5 * v).sin()).collect();
+        let kernel = SquaredExponential::new(1.0, 1.2);
+        let base = Gpr::fit(
+            Matrix::from_vec(8, 1, xs.clone()).unwrap(),
+            &y,
+            Box::new(kernel.clone()),
+            0.1,
+            false,
+        )
+        .unwrap();
+        let incremental = base.with_observation(&[6.3], 0.4).unwrap();
+        let mut xs2 = xs;
+        xs2.push(6.3);
+        let mut y2 = y;
+        y2.push(0.4);
+        let full = Gpr::fit(
+            Matrix::from_vec(9, 1, xs2).unwrap(),
+            &y2,
+            Box::new(kernel),
+            0.1,
+            false,
+        )
+        .unwrap();
+        assert!((incremental.lml() - full.lml()).abs() < 1e-9);
+        for q in [0.1, 3.0, 6.3, 9.0] {
+            let a = incremental.predict_one(&[q]).unwrap();
+            let b = full.predict_one(&[q]).unwrap();
+            assert!((a.mean - b.mean).abs() < 1e-9, "mean at {q}");
+            assert!((a.std - b.std).abs() < 1e-9, "std at {q}");
+        }
+        assert_eq!(incremental.n_train(), 9);
+    }
+
+    #[test]
+    fn incremental_update_with_standardization_freezes_scaler() {
+        // With standardize=true the incremental model keeps the *old*
+        // standardizer (documented behaviour); predictions remain finite
+        // and the training count grows.
+        let gpr = fit_sine(0.1);
+        let up = gpr.with_observation(&[7.0], 0.3).unwrap();
+        assert_eq!(up.n_train(), 21);
+        assert_eq!(up.standardizer(), gpr.standardizer());
+        assert!(up.predict_one(&[7.0]).unwrap().mean.is_finite());
+    }
+
+    #[test]
+    fn incremental_update_rejects_bad_dims() {
+        let gpr = fit_sine(0.1);
+        assert!(matches!(
+            gpr.with_observation(&[1.0, 2.0], 0.0),
+            Err(GpError::Dimension(_))
+        ));
+    }
+
+    #[test]
+    fn more_data_never_increases_variance_at_fixed_hyperparams() {
+        // Posterior variance is non-increasing in the training set when
+        // hyperparameters are held fixed.
+        let kernel = SquaredExponential::new(1.0, 1.0);
+        let xs5: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let xs10: Vec<f64> = (0..10).map(|i| i as f64 * 0.5).collect();
+        let y5: Vec<f64> = xs5.iter().map(|v| v.cos()).collect();
+        let y10: Vec<f64> = xs10.iter().map(|v| v.cos()).collect();
+        let g5 = Gpr::fit(
+            Matrix::from_vec(5, 1, xs5).unwrap(),
+            &y5,
+            Box::new(kernel.clone()),
+            0.1,
+            false,
+        )
+        .unwrap();
+        let g10 = Gpr::fit(
+            Matrix::from_vec(10, 1, xs10).unwrap(),
+            &y10,
+            Box::new(kernel),
+            0.1,
+            false,
+        )
+        .unwrap();
+        for q in [0.25, 1.75, 3.6] {
+            let s5 = g5.predict_one(&[q]).unwrap().std;
+            let s10 = g10.predict_one(&[q]).unwrap().std;
+            assert!(s10 <= s5 + 1e-9, "q={q}: {s10} vs {s5}");
+        }
+    }
+}

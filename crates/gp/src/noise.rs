@@ -1,0 +1,112 @@
+//! Noise-level lower bounds — the paper's anti-overfitting mechanism.
+//!
+//! Section V-B4 and Fig. 7 of the paper show that with a permissive bound
+//! (`sigma_n >= 1e-8`) the marginal-likelihood fit "optimistically considers
+//! its predictions to be exact" on small training sets, collapsing the
+//! predictive variance and derailing Active Learning. Raising the bound to
+//! `sigma_n >= 1e-1` eliminates the pathology. The paper also proposes (as
+//! future work) a *dynamic* bound `sigma_n >= 1/sqrt(N)` that relaxes as
+//! evidence accumulates — implemented here as
+//! [`NoiseFloor::DynamicInvSqrtN`] and evaluated in the
+//! `repro_ablation_noise` experiment.
+
+/// Policy for the lower bound on the noise standard deviation `sigma_n`
+/// during hyperparameter optimization.
+///
+/// Bounds apply on the *standardized* response scale (the model standardizes
+/// `y` before fitting), matching how the paper's scikit-learn prototype
+/// normalizes data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseFloor {
+    /// Fixed bound: `sigma_n >= value`. The paper contrasts `1e-8`
+    /// (overfits) with `1e-1` (well-behaved).
+    Fixed(f64),
+    /// Dynamic bound: `sigma_n >= 1/sqrt(N)` where `N` is the number of
+    /// training points (paper §V-B4, proposed future work).
+    DynamicInvSqrtN,
+    /// Dynamic bound with a scale: `sigma_n >= c/sqrt(N)`.
+    ScaledInvSqrtN(f64),
+    /// No bound beyond a tiny positive epsilon for numerical sanity.
+    Unbounded,
+}
+
+impl NoiseFloor {
+    /// Smallest `sigma_n` permitted for a training set of `n` points.
+    pub fn lower_bound(&self, n: usize) -> f64 {
+        let eps = 1e-10;
+        match *self {
+            NoiseFloor::Fixed(v) => v.max(eps),
+            NoiseFloor::DynamicInvSqrtN => (1.0 / (n.max(1) as f64).sqrt()).max(eps),
+            NoiseFloor::ScaledInvSqrtN(c) => (c / (n.max(1) as f64).sqrt()).max(eps),
+            NoiseFloor::Unbounded => eps,
+        }
+    }
+
+    /// Clamp a proposed noise level to the bound.
+    pub fn clamp(&self, sigma_n: f64, n: usize) -> f64 {
+        sigma_n.max(self.lower_bound(n))
+    }
+
+    /// The paper's loose setting (`sigma_n >= 1e-8`, Fig. 7a).
+    pub fn loose() -> Self {
+        NoiseFloor::Fixed(1e-8)
+    }
+
+    /// The paper's recommended setting (`sigma_n >= 1e-1`, Fig. 7b).
+    pub fn recommended() -> Self {
+        NoiseFloor::Fixed(1e-1)
+    }
+}
+
+impl Default for NoiseFloor {
+    /// Defaults to the paper's recommended fixed floor of `0.1`.
+    fn default() -> Self {
+        NoiseFloor::recommended()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_floor_is_constant_in_n() {
+        let f = NoiseFloor::Fixed(0.1);
+        assert_eq!(f.lower_bound(1), 0.1);
+        assert_eq!(f.lower_bound(1000), 0.1);
+    }
+
+    #[test]
+    fn dynamic_floor_decays_as_inv_sqrt() {
+        let f = NoiseFloor::DynamicInvSqrtN;
+        assert!((f.lower_bound(4) - 0.5).abs() < 1e-15);
+        assert!((f.lower_bound(100) - 0.1).abs() < 1e-15);
+        // n = 0 treated as 1 (a bound must exist before any data arrives).
+        assert!((f.lower_bound(0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scaled_dynamic_floor() {
+        let f = NoiseFloor::ScaledInvSqrtN(2.0);
+        assert!((f.lower_bound(4) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unbounded_still_positive() {
+        assert!(NoiseFloor::Unbounded.lower_bound(10) > 0.0);
+    }
+
+    #[test]
+    fn clamp_only_raises() {
+        let f = NoiseFloor::Fixed(0.1);
+        assert_eq!(f.clamp(0.5, 10), 0.5);
+        assert_eq!(f.clamp(0.01, 10), 0.1);
+    }
+
+    #[test]
+    fn paper_presets() {
+        assert_eq!(NoiseFloor::loose(), NoiseFloor::Fixed(1e-8));
+        assert_eq!(NoiseFloor::recommended(), NoiseFloor::Fixed(1e-1));
+        assert_eq!(NoiseFloor::default(), NoiseFloor::recommended());
+    }
+}

@@ -1,0 +1,220 @@
+//! Joint posterior covariance and posterior function sampling.
+//!
+//! The pointwise predictions of [`crate::model::Gpr`] give marginal
+//! means/variances; several AL extensions need the *joint* posterior over a
+//! set of query points:
+//!
+//! * the closed-form ALC / integrated-variance acquisition scores a
+//!   candidate by how much observing it shrinks variance everywhere else —
+//!   `cov(z, x)^2 / (sigma^2(x) + sigma_n^2)` summed over `z`;
+//! * Thompson-sampling acquisition draws a whole function from the
+//!   posterior and queries its argmax/argmin;
+//! * visual reproduction of GPR figures benefits from sample paths.
+//!
+//! `cov(a, b | data) = k(a, b) - k_a^T K_y^{-1} k_b`, assembled column-wise
+//! through the training Cholesky factor.
+
+use crate::model::{GpError, Gpr};
+use alperf_linalg::cholesky::Cholesky;
+use alperf_linalg::matrix::Matrix;
+use alperf_linalg::vector::dot;
+use rand::Rng;
+
+impl Gpr {
+    /// Joint posterior covariance matrix of the latent function over the
+    /// rows of `xs`, on the original response scale.
+    ///
+    /// # Errors
+    /// Dimension mismatches or numerical failure in the forward solves.
+    pub fn posterior_covariance(&self, xs: &Matrix) -> Result<Matrix, GpError> {
+        let m = xs.nrows();
+        if m > 0 && xs.ncols() != self.dim() {
+            return Err(GpError::Dimension(format!(
+                "query has {} dims, training data has {}",
+                xs.ncols(),
+                self.dim()
+            )));
+        }
+        // Z[:, j] = L^{-1} k_{x_j}; cov_ij = k(x_i, x_j) - Z_i . Z_j.
+        let kernel = self.kernel();
+        let scale = self.standardizer().std * self.standardizer().std;
+        let mut z_cols: Vec<Vec<f64>> = Vec::with_capacity(m);
+        for j in 0..m {
+            let kv = crate::lml::covariance_vector(kernel, self.x_train(), xs.row(j));
+            z_cols.push(self.chol_forward(&kv)?);
+        }
+        let mut cov = Matrix::zeros(m, m);
+        for i in 0..m {
+            for j in 0..=i {
+                let prior = kernel.eval(xs.row(i), xs.row(j));
+                let v = (prior - dot(&z_cols[i], &z_cols[j])) * scale;
+                cov[(i, j)] = v;
+                cov[(j, i)] = v;
+            }
+        }
+        Ok(cov)
+    }
+
+    /// Draw `n_samples` functions from the posterior at the rows of `xs`.
+    /// Returns one vector of values per sample. Uses a jittered Cholesky of
+    /// the posterior covariance (which is PSD but often rank-deficient once
+    /// queries cluster near training data).
+    ///
+    /// # Errors
+    /// Propagates covariance-assembly failures; if even heavy jitter cannot
+    /// factor the covariance a [`GpError::Linalg`] is returned.
+    pub fn sample_posterior(
+        &self,
+        xs: &Matrix,
+        n_samples: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<Vec<f64>>, GpError> {
+        let m = xs.nrows();
+        let means: Vec<f64> = (0..m)
+            .map(|i| self.predict_one(xs.row(i)).map(|p| p.mean))
+            .collect::<Result<_, _>>()?;
+        let cov = self.posterior_covariance(xs)?;
+        let chol = Cholesky::decompose_jittered(&cov, 1e-10, 12).map_err(GpError::Linalg)?;
+        let l = chol.factor();
+        let mut out = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            let z: Vec<f64> = (0..m)
+                .map(|_| alperf_linalg_normal(rng))
+                .collect();
+            // sample = mean + L z.
+            let mut s = means.clone();
+            for i in 0..m {
+                let mut acc = 0.0;
+                for j in 0..=i {
+                    acc += l[(i, j)] * z[j];
+                }
+                s[i] += acc;
+            }
+            out.push(s);
+        }
+        Ok(out)
+    }
+}
+
+/// Standard normal via Box–Muller (kept local to avoid a dependency cycle
+/// with the hpgmg crate's identical helper).
+fn alperf_linalg_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SquaredExponential;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> Gpr {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64 * 0.6).collect();
+        let y: Vec<f64> = xs.iter().map(|v| (0.8 * v).sin()).collect();
+        Gpr::fit(
+            Matrix::from_vec(10, 1, xs).unwrap(),
+            &y,
+            Box::new(SquaredExponential::new(1.0, 1.0)),
+            0.05,
+            true,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn diagonal_matches_pointwise_variance() {
+        let gpr = model();
+        let q = Matrix::from_vec(4, 1, vec![0.3, 1.7, 3.1, 9.0]).unwrap();
+        let cov = gpr.posterior_covariance(&q).unwrap();
+        for i in 0..4 {
+            let p = gpr.predict_one(q.row(i)).unwrap();
+            assert!(
+                (cov[(i, i)] - p.std * p.std).abs() < 1e-10,
+                "diag {i}: {} vs {}",
+                cov[(i, i)],
+                p.std * p.std
+            );
+        }
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd() {
+        let gpr = model();
+        let q = Matrix::from_vec(5, 1, vec![0.0, 1.0, 2.0, 4.0, 8.0]).unwrap();
+        let cov = gpr.posterior_covariance(&q).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(cov[(i, j)], cov[(j, i)]);
+            }
+        }
+        assert!(Cholesky::decompose_jittered(&cov, 1e-10, 12).is_ok());
+    }
+
+    #[test]
+    fn nearby_points_are_strongly_correlated() {
+        let gpr = model();
+        let q = Matrix::from_vec(3, 1, vec![7.5, 7.6, 12.0]).unwrap();
+        let cov = gpr.posterior_covariance(&q).unwrap();
+        let corr_near = cov[(0, 1)] / (cov[(0, 0)] * cov[(1, 1)]).sqrt();
+        let corr_far = cov[(0, 2)] / (cov[(0, 0)] * cov[(2, 2)]).sqrt();
+        assert!(corr_near > 0.9, "near corr {corr_near}");
+        assert!(corr_far < corr_near);
+    }
+
+    #[test]
+    fn samples_match_posterior_moments() {
+        let gpr = model();
+        let q = Matrix::from_vec(2, 1, vec![1.1, 5.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = gpr.sample_posterior(&q, 4000, &mut rng).unwrap();
+        assert_eq!(samples.len(), 4000);
+        for j in 0..2 {
+            let vals: Vec<f64> = samples.iter().map(|s| s[j]).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / vals.len() as f64;
+            let p = gpr.predict_one(q.row(j)).unwrap();
+            assert!((mean - p.mean).abs() < 0.05, "mean at {j}: {mean} vs {}", p.mean);
+            assert!(
+                (var - p.std * p.std).abs() < 0.05 * (p.std * p.std).max(0.01),
+                "var at {j}: {var} vs {}",
+                p.std * p.std
+            );
+        }
+    }
+
+    #[test]
+    fn samples_interpolate_training_data_tightly() {
+        let gpr = model();
+        // At a training point with small noise, sample spread is small.
+        let q = Matrix::from_vec(1, 1, vec![0.6]).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples = gpr.sample_posterior(&q, 200, &mut rng).unwrap();
+        let vals: Vec<f64> = samples.iter().map(|s| s[0]).collect();
+        let spread = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread < 0.5, "spread {spread}");
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let gpr = model();
+        let q = Matrix::from_vec(2, 2, vec![0.0; 4]).unwrap();
+        assert!(gpr.posterior_covariance(&q).is_err());
+    }
+
+    #[test]
+    fn empty_query_gives_empty_results() {
+        let gpr = model();
+        let q = Matrix::zeros(0, 0);
+        let cov = gpr.posterior_covariance(&q).unwrap();
+        assert_eq!(cov.nrows(), 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = gpr.sample_posterior(&q, 3, &mut rng).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(s[0].is_empty());
+    }
+}

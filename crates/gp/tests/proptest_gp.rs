@@ -1,0 +1,156 @@
+//! Property-based tests for the GPR engine: kernel validity, posterior
+//! consistency, and the paper's structural assumptions about predictive
+//! uncertainty.
+
+use alperf_gp::kernel::{
+    ArdSquaredExponential, Kernel, Matern32, Matern52, RationalQuadratic, SquaredExponential,
+};
+use alperf_gp::lml::assemble_covariance;
+use alperf_gp::model::Gpr;
+use alperf_linalg::{cholesky::Cholesky, matrix::Matrix};
+use proptest::prelude::*;
+
+fn points_strategy(n: usize, d: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-5.0..5.0f64, n * d)
+}
+
+fn kernels() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(SquaredExponential::new(0.7, 1.3)),
+        Box::new(Matern32::new(1.1, 0.9)),
+        Box::new(Matern52::new(0.8, 1.0)),
+        Box::new(RationalQuadratic::new(1.0, 1.1, 1.5)),
+        Box::new(ArdSquaredExponential::new(vec![0.5, 2.0], 1.0)),
+    ]
+}
+
+proptest! {
+    /// Kernel matrices plus any positive noise are positive definite — the
+    /// mathematical foundation of the whole GPR machinery.
+    #[test]
+    fn kernel_matrices_are_psd(data in points_strategy(8, 2), noise in 0.01..1.0f64) {
+        let x = Matrix::from_vec(8, 2, data).unwrap();
+        for k in kernels() {
+            let mut ky = assemble_covariance(k.as_ref(), &x);
+            ky.add_diagonal(noise * noise);
+            prop_assert!(
+                Cholesky::decompose_jittered(&ky, 1e-12, 6).is_ok(),
+                "kernel produced an indefinite matrix"
+            );
+        }
+    }
+
+    /// k(a, b) = k(b, a) and |k(a, b)| <= sqrt(k(a,a) k(b,b)) for every kernel.
+    #[test]
+    fn kernel_symmetry_and_cauchy_schwarz(
+        a in prop::collection::vec(-5.0..5.0f64, 2),
+        b in prop::collection::vec(-5.0..5.0f64, 2),
+    ) {
+        for k in kernels() {
+            let kab = k.eval(&a, &b);
+            let kba = k.eval(&b, &a);
+            prop_assert!((kab - kba).abs() < 1e-12);
+            let bound = (k.eval(&a, &a) * k.eval(&b, &b)).sqrt();
+            prop_assert!(kab.abs() <= bound + 1e-9);
+        }
+    }
+
+    /// Analytic kernel gradients match central finite differences at random
+    /// points and hyperparameters.
+    #[test]
+    fn kernel_gradients_match_fd(
+        a in prop::collection::vec(-3.0..3.0f64, 2),
+        b in prop::collection::vec(-3.0..3.0f64, 2),
+        scale in 0.3..3.0f64,
+        amp in 0.3..3.0f64,
+    ) {
+        let ks: Vec<Box<dyn Kernel>> = vec![
+            Box::new(SquaredExponential::new(scale, amp)),
+            Box::new(Matern32::new(scale, amp)),
+            Box::new(Matern52::new(scale, amp)),
+            Box::new(RationalQuadratic::new(scale, amp, 1.7)),
+        ];
+        let h = 1e-6;
+        for k in ks {
+            let g = k.grad(&a, &b);
+            let p0 = k.params();
+            for j in 0..k.n_params() {
+                let mut kp = k.clone_box();
+                let mut p = p0.clone();
+                p[j] += h;
+                kp.set_params(&p);
+                let up = kp.eval(&a, &b);
+                p[j] -= 2.0 * h;
+                kp.set_params(&p);
+                let dn = kp.eval(&a, &b);
+                let fd = (up - dn) / (2.0 * h);
+                prop_assert!(
+                    (fd - g[j]).abs() <= 2e-4 * (1.0 + fd.abs()),
+                    "param {j}: fd={fd} analytic={}", g[j]
+                );
+            }
+        }
+    }
+
+    /// The posterior mean at a training point moves toward the observation,
+    /// and predictive std there is below the prior std.
+    #[test]
+    fn posterior_contracts_at_training_points(
+        xs in prop::collection::vec(-4.0..4.0f64, 3..10),
+        seed_y in prop::collection::vec(-2.0..2.0f64, 10),
+    ) {
+        let n = xs.len();
+        // Deduplicate inputs: repeated x with different y is legal but makes
+        // the "mean near observation" assertion meaningless.
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assume!(sorted.windows(2).all(|w| (w[1] - w[0]).abs() > 0.4));
+        let y: Vec<f64> = (0..n).map(|i| seed_y[i % seed_y.len()]).collect();
+        let x = Matrix::from_vec(n, 1, xs.clone()).unwrap();
+        let gpr = Gpr::fit(x, &y, Box::new(SquaredExponential::new(0.5, 1.0)), 0.05, true).unwrap();
+        let prior_std = gpr.standardizer().std; // amplitude 1 on std scale
+        for (i, &xi) in xs.iter().enumerate() {
+            let p = gpr.predict_one(&[xi]).unwrap();
+            prop_assert!(p.std < prior_std + 1e-9);
+            // With small noise the mean should be close to the observation.
+            prop_assert!((p.mean - y[i]).abs() < 0.5, "at {xi}: {} vs {}", p.mean, y[i]);
+        }
+    }
+
+    /// Predictive std is non-negative everywhere and finite.
+    #[test]
+    fn predictions_are_finite(
+        xs in prop::collection::vec(-4.0..4.0f64, 2..8),
+        q in -10.0..10.0f64,
+    ) {
+        let n = xs.len();
+        let y: Vec<f64> = xs.iter().map(|v| v * 0.3).collect();
+        let x = Matrix::from_vec(n, 1, xs).unwrap();
+        let gpr = Gpr::fit(x, &y, Box::new(Matern52::new(1.0, 1.0)), 0.1, true).unwrap();
+        let p = gpr.predict_one(&[q]).unwrap();
+        prop_assert!(p.mean.is_finite());
+        prop_assert!(p.std.is_finite() && p.std >= 0.0);
+    }
+
+    /// LML is invariant to the order of training points.
+    #[test]
+    fn lml_is_permutation_invariant(perm_seed in 0u64..1000) {
+        let xs: Vec<f64> = (0..8).map(|i| i as f64 * 0.7).collect();
+        let y: Vec<f64> = xs.iter().map(|v| (v * 0.5).sin()).collect();
+        // Deterministic permutation derived from the seed.
+        let mut idx: Vec<usize> = (0..8).collect();
+        let mut s = perm_seed;
+        for i in (1..8).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            idx.swap(i, j);
+        }
+        let x1 = Matrix::from_vec(8, 1, xs.clone()).unwrap();
+        let x2 = x1.select_rows(&idx);
+        let y2: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+        let k = SquaredExponential::new(1.0, 1.0);
+        let g1 = Gpr::fit(x1, &y, Box::new(k.clone()), 0.1, false).unwrap();
+        let g2 = Gpr::fit(x2, &y2, Box::new(k), 0.1, false).unwrap();
+        prop_assert!((g1.lml() - g2.lml()).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,197 @@
+//! Inter-grid transfer operators: full-weighting restriction and trilinear
+//! prolongation between vertex-centered grids with coarsening factor 2.
+//!
+//! A coarse vertex `(I, J, K)` coincides with fine vertex `(2I, 2J, 2K)`.
+//! Restriction gathers the surrounding 27 fine vertices with weights
+//! `(1/2)^{d} / 8` where `d` is the number of odd offsets; prolongation is
+//! its (scaled) transpose, i.e. trilinear interpolation.
+
+use crate::grid3::Grid3;
+
+/// Restrict a fine-grid field to the next coarser grid (full weighting).
+///
+/// # Panics
+/// Panics unless `coarse.n() * 2 == fine.n()`.
+pub fn restrict(fine: &Grid3, coarse: &mut Grid3) {
+    assert_eq!(coarse.n() * 2, fine.n(), "restrict: grids not nested");
+    let nc = coarse.n();
+    for kk in 1..nc {
+        for jj in 1..nc {
+            for ii in 1..nc {
+                let (fi, fj, fk) = (2 * ii, 2 * jj, 2 * kk);
+                let mut acc = 0.0;
+                for dk in -1i32..=1 {
+                    for dj in -1i32..=1 {
+                        for di in -1i32..=1 {
+                            let w = 0.5f64.powi(di.abs() + dj.abs() + dk.abs()) / 8.0;
+                            acc += w
+                                * fine.get(
+                                    (fi as i32 + di) as usize,
+                                    (fj as i32 + dj) as usize,
+                                    (fk as i32 + dk) as usize,
+                                );
+                        }
+                    }
+                }
+                coarse.set(ii, jj, kk, acc);
+            }
+        }
+    }
+}
+
+/// Prolong (trilinearly interpolate) a coarse-grid correction to the fine
+/// grid, *adding* into `fine` (`fine += P coarse`), which is how V-cycles
+/// consume it. Boundary vertices are untouched (correction is zero there).
+pub fn prolong_add(coarse: &Grid3, fine: &mut Grid3) {
+    assert_eq!(coarse.n() * 2, fine.n(), "prolong: grids not nested");
+    let nf = fine.n();
+    for k in 1..nf {
+        for j in 1..nf {
+            for i in 1..nf {
+                // Trilinear interpolation from the enclosing coarse cell.
+                let (ci, ri) = (i / 2, i % 2);
+                let (cj, rj) = (j / 2, j % 2);
+                let (ck, rk) = (k / 2, k % 2);
+                let mut acc = 0.0;
+                for (dk, wk) in weights(ck, rk) {
+                    for (dj, wj) in weights(cj, rj) {
+                        for (di, wi) in weights(ci, ri) {
+                            let w = wi * wj * wk;
+                            if w != 0.0 {
+                                acc += w * coarse.get(di, dj, dk);
+                            }
+                        }
+                    }
+                }
+                let v = fine.get(i, j, k) + acc;
+                fine.set(i, j, k, v);
+            }
+        }
+    }
+}
+
+/// Interpolation stencil along one axis: a coincident vertex uses weight 1;
+/// an in-between vertex averages its two coarse neighbors.
+fn weights(c: usize, r: usize) -> [(usize, f64); 2] {
+    if r == 0 {
+        [(c, 1.0), (c, 0.0)]
+    } else {
+        [(c, 0.5), (c + 1, 0.5)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restrict_preserves_constants() {
+        // A constant interior field restricts to (almost) the same constant
+        // away from the boundary (where the zero shell bleeds in).
+        let mut fine = Grid3::zeros(16);
+        fine.fill_interior(|_, _, _| 3.0);
+        let mut coarse = Grid3::zeros(8);
+        restrict(&fine, &mut coarse);
+        assert!((coarse.get(4, 4, 4) - 3.0).abs() < 1e-12);
+        assert!(coarse.boundary_is_zero());
+    }
+
+    #[test]
+    fn restrict_weights_sum_to_one() {
+        // Delta at a coarse-coincident fine vertex: center weight is 1/8.
+        let mut fine = Grid3::zeros(8);
+        fine.set(4, 4, 4, 1.0);
+        let mut coarse = Grid3::zeros(4);
+        restrict(&fine, &mut coarse);
+        assert!((coarse.get(2, 2, 2) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prolong_is_exact_on_linear_functions() {
+        // Trilinear interpolation reproduces linear fields exactly in the
+        // interior away from the boundary shell.
+        let mut coarse = Grid3::zeros(8);
+        coarse.fill_interior(|x, y, z| 2.0 * x - y + 0.5 * z);
+        let mut fine = Grid3::zeros(16);
+        prolong_add(&coarse, &mut fine);
+        // Check at fine vertices whose full interpolation stencil is interior.
+        for (i, j, k) in [(8, 8, 8), (7, 9, 8), (5, 5, 5)] {
+            let (x, y, z) = fine.coords(i, j, k);
+            let expect = 2.0 * x - y + 0.5 * z;
+            assert!(
+                (fine.get(i, j, k) - expect).abs() < 1e-12,
+                "at ({i},{j},{k}): {} vs {expect}",
+                fine.get(i, j, k)
+            );
+        }
+    }
+
+    #[test]
+    fn prolong_adds_into_existing_values() {
+        let mut coarse = Grid3::zeros(4);
+        coarse.set(2, 2, 2, 1.0);
+        let mut fine = Grid3::zeros(8);
+        fine.set(4, 4, 4, 10.0);
+        prolong_add(&coarse, &mut fine);
+        assert!((fine.get(4, 4, 4) - 11.0).abs() < 1e-12);
+        // Midpoint neighbor gets half.
+        assert!((fine.get(5, 4, 4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_operators_are_adjoint_up_to_scaling() {
+        // Full weighting R and trilinear P satisfy R = P^T / 8 for interior
+        // vertices: check <R u_f, v_c> = <u_f, P v_c> / 8 with supports away
+        // from the boundary.
+        let mut uf = Grid3::zeros(16);
+        uf.fill_interior(|x, y, z| (x * 6.0).sin() * (y * 5.0).cos() + z);
+        let mut vc = Grid3::zeros(8);
+        // Keep vc supported well inside so the boundary shell plays no role.
+        for k in 3..=5 {
+            for j in 3..=5 {
+                for i in 3..=5 {
+                    vc.set(i, j, k, ((i + 2 * j + 3 * k) % 5) as f64 - 2.0);
+                }
+            }
+        }
+        let mut ruf = Grid3::zeros(8);
+        restrict(&uf, &mut ruf);
+        let mut pvc = Grid3::zeros(16);
+        prolong_add(&vc, &mut pvc);
+        let dot_c = {
+            let mut s = 0.0;
+            for k in 1..8 {
+                for j in 1..8 {
+                    for i in 1..8 {
+                        s += ruf.get(i, j, k) * vc.get(i, j, k);
+                    }
+                }
+            }
+            s
+        };
+        let dot_f = {
+            let mut s = 0.0;
+            for k in 1..16 {
+                for j in 1..16 {
+                    for i in 1..16 {
+                        s += uf.get(i, j, k) * pvc.get(i, j, k);
+                    }
+                }
+            }
+            s
+        };
+        assert!(
+            (dot_c - dot_f / 8.0).abs() <= 1e-9 * (1.0 + dot_c.abs()),
+            "{dot_c} vs {}",
+            dot_f / 8.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not nested")]
+    fn mismatched_grids_panic() {
+        let fine = Grid3::zeros(8);
+        let mut coarse = Grid3::zeros(8);
+        restrict(&fine, &mut coarse);
+    }
+}

@@ -1,0 +1,420 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! The single most important numerical routine in the workspace: every GPR
+//! fit, prediction, and log-marginal-likelihood evaluation goes through
+//! `K_y = L L^T`. Covariance matrices built from a squared-exponential
+//! kernel are notoriously ill-conditioned when training inputs are close
+//! together relative to the length scale, so [`Cholesky::decompose_jittered`]
+//! retries with geometrically increasing diagonal jitter — the same strategy
+//! scikit-learn's `GaussianProcessRegressor` (used by the paper) employs.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::triangular::{solve_lower, solve_lower_transpose};
+
+/// A lower-triangular Cholesky factor `L` with `A = L L^T`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    /// Jitter that had to be added to the diagonal for the factorization to
+    /// succeed (0.0 when the matrix was PD as given).
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix. Only the lower triangle
+    /// of `a` is read.
+    ///
+    /// # Errors
+    /// [`LinalgError::NotPositiveDefinite`] if a pivot is `<= 0`;
+    /// [`LinalgError::DimensionMismatch`] if `a` is not square;
+    /// [`LinalgError::NonFinite`] if the input contains NaN/inf.
+    pub fn decompose(a: &Matrix) -> Result<Self, LinalgError> {
+        Self::decompose_with_jitter(a, 0.0)
+    }
+
+    /// Factor with retries: if the plain factorization fails, add
+    /// `jitter = first_jitter * 10^k` (k = 0, 1, ..., `max_tries-1`) to the
+    /// diagonal until it succeeds. `first_jitter` is scaled by the mean
+    /// diagonal magnitude so the retry ladder is dimensionally sensible.
+    ///
+    /// Returns the factor together with the jitter that was used (see
+    /// [`Cholesky::jitter`]).
+    pub fn decompose_jittered(
+        a: &Matrix,
+        first_jitter: f64,
+        max_tries: usize,
+    ) -> Result<Self, LinalgError> {
+        let n = a.nrows();
+        let mean_diag = if n == 0 {
+            1.0
+        } else {
+            a.diagonal().iter().map(|v| v.abs()).sum::<f64>() / n as f64
+        };
+        let base = first_jitter * mean_diag.max(f64::MIN_POSITIVE);
+        let mut last_err = None;
+        for k in 0..max_tries.max(1) {
+            let jitter = if k == 0 { 0.0 } else { base * 10f64.powi(k as i32 - 1) };
+            match Self::decompose_with_jitter(a, jitter) {
+                Ok(c) => return Ok(c),
+                Err(e @ LinalgError::NotPositiveDefinite { .. }) => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or(LinalgError::NotPositiveDefinite {
+            pivot: 0,
+            value: f64::NAN,
+        }))
+    }
+
+    fn decompose_with_jitter(a: &Matrix, jitter: f64) -> Result<Self, LinalgError> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky",
+                details: format!("{}x{} is not square", a.nrows(), a.ncols()),
+            });
+        }
+        if !a.all_finite() {
+            return Err(LinalgError::NonFinite { op: "cholesky" });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal element.
+            let mut d = a[(j, j)] + jitter;
+            for k in 0..j {
+                let ljk = l[(j, k)];
+                d -= ljk * ljk;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j, value: d });
+            }
+            let dsqrt = d.sqrt();
+            l[(j, j)] = dsqrt;
+            // Column below the diagonal.
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dsqrt;
+            }
+        }
+        Ok(Cholesky { l, jitter })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Diagonal jitter that was added for the factorization to succeed.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Solve `A x = b` via the two triangular solves.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let y = solve_lower(&self.l, b)?;
+        solve_lower_transpose(&self.l, &y)
+    }
+
+    /// Forward solve only: `L z = b`. The norm of `z` gives the variance
+    /// reduction term in GPR prediction.
+    pub fn solve_forward(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        solve_lower(&self.l, b)
+    }
+
+    /// `log det A = 2 * sum_i log L_ii` — the complexity-penalty term of the
+    /// log marginal likelihood (Eq. 12 of the paper).
+    pub fn log_det(&self) -> f64 {
+        2.0 * (0..self.l.nrows())
+            .map(|i| self.l[(i, i)].ln())
+            .sum::<f64>()
+    }
+
+    /// Explicit inverse `A^{-1}`, needed once per LML-gradient evaluation
+    /// (the gradient is `0.5 tr((aa^T - A^{-1}) dA/dtheta)`). Computed by
+    /// solving against the identity — O(n^3) like the factorization itself.
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        let n = self.order();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            e[j] = 0.0;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Extend the factorization by one row/column in `O(n^2)`: given the
+    /// factor of `A`, produce the factor of
+    /// `[[A, a], [a^T, alpha]]` where `a` is the new off-diagonal column
+    /// and `alpha` the new diagonal entry.
+    ///
+    /// This is the engine of incremental GPR updates: adding one training
+    /// point extends `K_y` exactly this way, so the AL loop can recondition
+    /// in `O(n^2)` instead of refactoring in `O(n^3)`.
+    ///
+    /// # Errors
+    /// [`LinalgError::NotPositiveDefinite`] if the extended matrix is not
+    /// PD (`alpha - ||L^{-1} a||^2 <= 0`);
+    /// [`LinalgError::DimensionMismatch`] if `a.len() != order()`.
+    pub fn extend(&self, a: &[f64], alpha: f64) -> Result<Cholesky, LinalgError> {
+        let n = self.order();
+        if a.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky_extend",
+                details: format!("column has {} entries, factor order is {n}", a.len()),
+            });
+        }
+        let z = solve_lower(&self.l, a)?;
+        let d2 = alpha - crate::vector::dot(&z, &z);
+        if d2 <= 0.0 || !d2.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: n, value: d2 });
+        }
+        let mut l = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            for j in 0..=i {
+                l[(i, j)] = self.l[(i, j)];
+            }
+        }
+        for (j, zj) in z.iter().enumerate() {
+            l[(n, j)] = *zj;
+        }
+        l[(n, n)] = d2.sqrt();
+        Ok(Cholesky {
+            l,
+            jitter: self.jitter,
+        })
+    }
+
+    /// Reconstruct `A = L L^T` (testing / diagnostics).
+    pub fn reconstruct(&self) -> Matrix {
+        let lt = self.l.transpose();
+        self.l.matmul(&lt).expect("square factor")
+    }
+
+    /// Rough 2-norm condition estimate from the extreme diagonal entries of
+    /// `L`: `cond(A) ~ (max L_ii / min L_ii)^2`. Cheap and adequate for
+    /// deciding when to warn about ill-conditioned covariance matrices.
+    pub fn condition_estimate(&self) -> f64 {
+        let n = self.order();
+        if n == 0 {
+            return 1.0;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for i in 0..n {
+            let d = self.l[(i, i)];
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        (hi / lo).powi(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B B^T + I for B random-ish => SPD.
+        Matrix::from_rows(&[
+            &[4.0, 2.0, 0.6],
+            &[2.0, 5.0, 1.0],
+            &[0.6, 1.0, 3.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn decompose_reconstructs() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        assert!(c.reconstruct().max_abs_diff(&a) < 1e-12);
+        assert_eq!(c.jitter(), 0.0);
+    }
+
+    #[test]
+    fn known_2x2_factor() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 5.0]]).unwrap();
+        let c = Cholesky::decompose(&a).unwrap();
+        let l = c.factor();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-15);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-15);
+        assert!((l[(1, 1)] - 2.0).abs() < 1e-15);
+        assert_eq!(l[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = c.solve(&b).unwrap();
+        for (xi, e) in x.iter().zip(&x_true) {
+            assert!((xi - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_known() {
+        // det of diag(2, 3, 4) = 24.
+        let a = Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[0.0, 3.0, 0.0], &[0.0, 0.0, 4.0]]).unwrap();
+        let c = Cholesky::decompose(&a).unwrap();
+        assert!((c.log_det() - 24f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_matches_identity() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        let inv = c.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-12);
+    }
+
+    #[test]
+    fn not_pd_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        match Cholesky::decompose(&a) {
+            Err(LinalgError::NotPositiveDefinite { .. }) => {}
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        // Rank-1 matrix: PSD but not PD.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        assert!(Cholesky::decompose(&a).is_err());
+        let c = Cholesky::decompose_jittered(&a, 1e-10, 12).unwrap();
+        assert!(c.jitter() > 0.0);
+        // Reconstruction should be close to A (within the jitter magnitude).
+        assert!(c.reconstruct().max_abs_diff(&a) < 1e-3);
+    }
+
+    #[test]
+    fn jitter_gives_up_eventually() {
+        let a = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]).unwrap();
+        assert!(Cholesky::decompose_jittered(&a, 1e-10, 3).is_err());
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = f64::NAN;
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let a = Matrix::zeros(0, 0);
+        let c = Cholesky::decompose(&a).unwrap();
+        assert_eq!(c.order(), 0);
+        assert_eq!(c.log_det(), 0.0);
+    }
+
+    #[test]
+    fn condition_estimate_identity_is_one() {
+        let c = Cholesky::decompose(&Matrix::identity(4)).unwrap();
+        assert!((c.condition_estimate() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn condition_estimate_grows_with_spread() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1e6]]).unwrap();
+        let c = Cholesky::decompose(&a).unwrap();
+        assert!((c.condition_estimate() - 1e6).abs() / 1e6 < 1e-9);
+    }
+
+    #[test]
+    fn extend_matches_full_factorization() {
+        // Factor the 2x2 leading block of spd3, extend by the third
+        // row/column, and compare against factoring the full matrix.
+        let a = spd3();
+        let lead = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 5.0]]).unwrap();
+        let c2 = Cholesky::decompose(&lead).unwrap();
+        let c3 = c2.extend(&[0.6, 1.0], 3.0).unwrap();
+        let full = Cholesky::decompose(&a).unwrap();
+        assert!(c3.factor().max_abs_diff(full.factor()) < 1e-12);
+        assert!((c3.log_det() - full.log_det()).abs() < 1e-12);
+        // Solves agree too.
+        let rhs = vec![1.0, -0.5, 2.0];
+        let x1 = c3.solve(&rhs).unwrap();
+        let x2 = full.solve(&rhs).unwrap();
+        for (a, b) in x1.iter().zip(&x2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn extend_detects_indefinite_extension() {
+        let lead = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let c = Cholesky::decompose(&lead).unwrap();
+        // [[1, 2], [2, 1]] has eigenvalues 3 and -1.
+        assert!(matches!(
+            c.extend(&[2.0], 1.0),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        assert!(matches!(
+            c.extend(&[1.0, 2.0], 5.0),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn extend_from_empty_builds_scalar_factor() {
+        let empty = Cholesky::decompose(&Matrix::zeros(0, 0)).unwrap();
+        let one = empty.extend(&[], 9.0).unwrap();
+        assert_eq!(one.order(), 1);
+        assert!((one.factor()[(0, 0)] - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn repeated_extension_builds_full_factor() {
+        let a = spd3();
+        let mut c = Cholesky::decompose(&Matrix::zeros(0, 0)).unwrap();
+        for k in 0..3 {
+            let col: Vec<f64> = (0..k).map(|j| a[(k, j)]).collect();
+            c = c.extend(&col, a[(k, k)]).unwrap();
+        }
+        let full = Cholesky::decompose(&a).unwrap();
+        assert!(c.factor().max_abs_diff(full.factor()) < 1e-12);
+    }
+
+    #[test]
+    fn solve_forward_norm_is_variance_term() {
+        // For A = L L^T and k, ||L^{-1} k||^2 == k^T A^{-1} k.
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        let k = vec![0.3, -1.2, 0.9];
+        let z = c.solve_forward(&k).unwrap();
+        let quad: f64 = crate::vector::dot(&k, &c.solve(&k).unwrap());
+        let nz: f64 = crate::vector::dot(&z, &z);
+        assert!((quad - nz).abs() < 1e-12);
+    }
+}

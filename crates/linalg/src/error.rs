@@ -1,0 +1,99 @@
+//! Error type shared by all fallible linear-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by the dense linear-algebra routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Matrix dimensions are incompatible with the requested operation.
+    DimensionMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Dimensions that were supplied, formatted by the caller.
+        details: String,
+    },
+    /// The matrix is not positive definite (Cholesky pivot `<= 0`), even
+    /// after the maximum permitted jitter was added to the diagonal.
+    NotPositiveDefinite {
+        /// Index of the first failing pivot.
+        pivot: usize,
+        /// Value of that pivot before taking the square root.
+        value: f64,
+    },
+    /// The matrix is singular to working precision (zero diagonal entry in a
+    /// triangular solve).
+    Singular {
+        /// Index of the zero diagonal entry.
+        index: usize,
+    },
+    /// A non-finite value (NaN or infinity) was encountered where finite
+    /// input is required.
+    NonFinite {
+        /// Name of the operation that detected the bad value.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, details } => {
+                write!(f, "dimension mismatch in {op}: {details}")
+            }
+            LinalgError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot} = {value:e}"
+            ),
+            LinalgError::Singular { index } => {
+                write!(f, "matrix is singular: zero diagonal at index {index}")
+            }
+            LinalgError::NonFinite { op } => {
+                write!(f, "non-finite value encountered in {op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matmul",
+            details: "2x3 * 4x2".into(),
+        };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("2x3 * 4x2"));
+    }
+
+    #[test]
+    fn display_not_positive_definite() {
+        let e = LinalgError::NotPositiveDefinite {
+            pivot: 3,
+            value: -1e-12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("positive definite"));
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn display_singular_and_nonfinite() {
+        assert!(LinalgError::Singular { index: 0 }
+            .to_string()
+            .contains("singular"));
+        assert!(LinalgError::NonFinite { op: "dot" }
+            .to_string()
+            .contains("dot"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&LinalgError::Singular { index: 1 });
+    }
+}

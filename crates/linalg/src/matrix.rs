@@ -1,0 +1,540 @@
+//! Row-major dense matrix.
+//!
+//! The GPR layer assembles covariance matrices of a few hundred to a few
+//! thousand rows; the cluster simulator and benchmark harness use matrices as
+//! design matrices (rows = experiments, columns = controlled variables).
+//! Storage is a single contiguous `Vec<f64>` so rows can be handed out as
+//! slices — the access pattern every consumer in this workspace wants.
+
+use crate::error::LinalgError;
+use crate::vector::dot;
+use rayon::prelude::*;
+
+/// Below this many total elements, parallel products fall back to the serial
+/// path: rayon's fork-join overhead dominates for tiny matrices (see the
+/// `matmul` criterion bench in `alperf-bench`).
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero-filled `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Matrix::from_vec",
+                details: format!("{rows}x{cols} needs {} elements, got {}", rows * cols, data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Build from nested row slices (convenient in tests).
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        if rows.is_empty() {
+            return Ok(Matrix::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "Matrix::from_rows",
+                    details: format!("row {i} has {} columns, expected {cols}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Build an `n x n` matrix from a function of the index pair. Used for
+    /// covariance assembly; runs rows in parallel when the matrix is large.
+    pub fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        if rows * cols >= PAR_THRESHOLD {
+            m.data
+                .par_chunks_mut(cols)
+                .enumerate()
+                .for_each(|(i, row)| {
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v = f(i, j);
+                    }
+                });
+        } else {
+            for i in 0..rows {
+                for j in 0..cols {
+                    m[(i, j)] = f(i, j);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` if the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy column `j` into a fresh vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Flat row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Iterator over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks(self.cols.max(1))
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `A x`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec",
+                details: format!("{}x{} * {}", self.rows, self.cols, x.len()),
+            });
+        }
+        if self.rows * self.cols >= PAR_THRESHOLD {
+            Ok(self
+                .data
+                .par_chunks(self.cols)
+                .map(|row| dot(row, x))
+                .collect())
+        } else {
+            Ok(self.data.chunks(self.cols).map(|row| dot(row, x)).collect())
+        }
+    }
+
+    /// Matrix–matrix product `A B`.
+    ///
+    /// Uses a cache-friendly i-k-j loop order over the row-major layout and
+    /// parallelizes over output rows for large problems.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                details: format!(
+                    "{}x{} * {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        let compute_row = |i: usize, orow: &mut [f64]| {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                for j in 0..n {
+                    orow[j] += aik * brow[j];
+                }
+            }
+        };
+        if self.rows * n >= PAR_THRESHOLD {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, orow)| compute_row(i, orow));
+        } else {
+            for (i, orow) in out.data.chunks_mut(n).enumerate() {
+                compute_row(i, orow);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self + a * other`, elementwise.
+    pub fn add_scaled(&self, a: f64, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "add_scaled",
+                details: format!(
+                    "{}x{} + {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(x, y)| x + a * y)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Add `a` to every diagonal element in place (e.g. `K + sigma_n^2 I`).
+    pub fn add_diagonal(&mut self, a: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += a;
+        }
+    }
+
+    /// Diagonal as a vector.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Trace (sum of diagonal elements).
+    pub fn trace(&self) -> f64 {
+        self.diagonal().iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        crate::vector::norm2(&self.data)
+    }
+
+    /// Maximum absolute elementwise difference to another matrix of the same
+    /// shape; used in tests and convergence checks.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// Symmetrize in place: `A <- (A + A^T) / 2`. Covariance matrices drift
+    /// from exact symmetry after repeated floating-point assembly; Cholesky
+    /// assumes symmetry.
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.rows, self.cols, "symmetrize: matrix must be square");
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let v = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = v;
+                self[(j, i)] = v;
+            }
+        }
+    }
+
+    /// `true` if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Select a subset of rows (by index, in the given order) into a new
+    /// matrix. Indices may repeat — used by the bootstrap resampler in the
+    /// EMCM baseline.
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix {
+        let mut m = Matrix::zeros(idx.len(), self.cols);
+        for (r, &i) in idx.iter().enumerate() {
+            m.row_mut(r).copy_from_slice(self.row(i));
+        }
+        m
+    }
+
+    /// Append a row, returning a new matrix. The AL loop grows the training
+    /// design matrix one experiment at a time.
+    pub fn with_row(&self, row: &[f64]) -> Result<Matrix, LinalgError> {
+        if self.rows > 0 && row.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "with_row",
+                details: format!("row has {} columns, matrix has {}", row.len(), self.cols),
+            });
+        }
+        let cols = if self.rows == 0 { row.len() } else { self.cols };
+        let mut data = self.data.clone();
+        data.extend_from_slice(row);
+        Ok(Matrix {
+            rows: self.rows + 1,
+            cols,
+            data,
+        })
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:12.5e} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.nrows(), 2);
+        assert_eq!(z.ncols(), 3);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i.trace(), 3.0);
+        assert_eq!(i[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_ragged_rejected() {
+        let r: Result<Matrix, _> = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn from_fn_matches_manual() {
+        let m = Matrix::from_fn(3, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m[(2, 1)], 21.0);
+    }
+
+    #[test]
+    fn from_fn_parallel_path_consistent() {
+        // Large enough to take the parallel path.
+        let f = |i: usize, j: usize| ((i as f64) * 0.01 - (j as f64) * 0.02).sin();
+        let big = Matrix::from_fn(80, 80, f);
+        for &(i, j) in &[(0, 0), (79, 79), (13, 57)] {
+            assert_eq!(big[(i, j)], f(i, j));
+        }
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let m = abc();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = abc();
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t[(0, 2)], 5.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matvec_small() {
+        let m = abc();
+        let y = m.matvec(&[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 7.0, 11.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_parallel_matches_serial() {
+        let n = 100;
+        let m = Matrix::from_fn(n, n, |i, j| ((i + 2 * j) as f64).cos());
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let y = m.matvec(&x).unwrap();
+        for (i, yi) in y.iter().enumerate() {
+            let expect = dot(m.row(i), &x);
+            assert!((yi - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = abc();
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_dimension_check() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn add_scaled_and_diagonal() {
+        let a = Matrix::identity(2);
+        let b = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let c = a.add_scaled(2.0, &b).unwrap();
+        assert_eq!(c[(0, 0)], 3.0);
+        assert_eq!(c[(0, 1)], 2.0);
+        let mut d = Matrix::zeros(2, 2);
+        d.add_diagonal(4.0);
+        assert_eq!(d.diagonal(), vec![4.0, 4.0]);
+    }
+
+    #[test]
+    fn trace_and_frobenius() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).unwrap();
+        assert_eq!(m.trace(), 7.0);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn symmetrize_makes_symmetric() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[4.0, 1.0]]).unwrap();
+        m.symmetrize();
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn select_rows_with_repeats() {
+        let m = abc();
+        let s = m.select_rows(&[2, 0, 2]);
+        assert_eq!(s.nrows(), 3);
+        assert_eq!(s.row(0), &[5.0, 6.0]);
+        assert_eq!(s.row(1), &[1.0, 2.0]);
+        assert_eq!(s.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn with_row_grows_matrix() {
+        let m = Matrix::zeros(0, 0);
+        let m = m.with_row(&[1.0, 2.0]).unwrap();
+        let m = m.with_row(&[3.0, 4.0]).unwrap();
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert!(m.with_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(m.all_finite());
+        m[(1, 1)] = f64::NAN;
+        assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn max_abs_diff_basic() {
+        let a = Matrix::identity(2);
+        let mut b = Matrix::identity(2);
+        b[(0, 1)] = 0.25;
+        assert_eq!(a.max_abs_diff(&b), 0.25);
+    }
+
+    #[test]
+    fn display_does_not_panic() {
+        let s = format!("{}", abc());
+        assert!(s.contains('\n'));
+    }
+}

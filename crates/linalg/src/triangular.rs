@@ -1,0 +1,194 @@
+//! Triangular solves.
+//!
+//! GPR never forms `K_y^{-1}` explicitly. With the Cholesky factor `L`
+//! (`K_y = L L^T`), applying the inverse is two triangular solves:
+//! `alpha = L^{-T} (L^{-1} y)`. The predictive variance needs only the
+//! forward solve: `sigma_*^2 = k_** - ||L^{-1} k_*||^2`.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Solve `L x = b` where `L` is lower triangular (entries above the diagonal
+/// are ignored). Returns the solution vector.
+///
+/// # Errors
+/// [`LinalgError::Singular`] if a diagonal entry is exactly zero;
+/// [`LinalgError::DimensionMismatch`] on shape mismatch.
+pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = l.nrows();
+    if l.ncols() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "solve_lower",
+            details: format!("L is {}x{}, b has {}", l.nrows(), l.ncols(), b.len()),
+        });
+    }
+    let mut x = b.to_vec();
+    for i in 0..n {
+        let row = l.row(i);
+        let mut s = x[i];
+        for j in 0..i {
+            s -= row[j] * x[j];
+        }
+        let d = row[i];
+        if d == 0.0 {
+            return Err(LinalgError::Singular { index: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solve `L^T x = b` where `L` is lower triangular (so `L^T` is upper
+/// triangular), without materializing the transpose.
+pub fn solve_lower_transpose(l: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = l.nrows();
+    if l.ncols() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "solve_lower_transpose",
+            details: format!("L is {}x{}, b has {}", l.nrows(), l.ncols(), b.len()),
+        });
+    }
+    let mut x = b.to_vec();
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        // L^T[i][j] = L[j][i] for j > i.
+        for j in (i + 1)..n {
+            s -= l[(j, i)] * x[j];
+        }
+        let d = l[(i, i)];
+        if d == 0.0 {
+            return Err(LinalgError::Singular { index: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solve `U x = b` where `U` is upper triangular (entries below the diagonal
+/// are ignored).
+pub fn solve_upper(u: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = u.nrows();
+    if u.ncols() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "solve_upper",
+            details: format!("U is {}x{}, b has {}", u.nrows(), u.ncols(), b.len()),
+        });
+    }
+    let mut x = b.to_vec();
+    for i in (0..n).rev() {
+        let row = u.row(i);
+        let mut s = x[i];
+        for j in (i + 1)..n {
+            s -= row[j] * x[j];
+        }
+        let d = row[i];
+        if d == 0.0 {
+            return Err(LinalgError::Singular { index: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solve `L X = B` column-by-column for a matrix right-hand side; used to
+/// compute `L^{-1} K` when forming `K_y^{-1}` rows for the LML gradient.
+pub fn solve_lower_matrix(l: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    let n = l.nrows();
+    if b.nrows() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "solve_lower_matrix",
+            details: format!("L is {}x{}, B is {}x{}", l.nrows(), l.ncols(), b.nrows(), b.ncols()),
+        });
+    }
+    let mut out = Matrix::zeros(n, b.ncols());
+    for j in 0..b.ncols() {
+        let col = b.col(j);
+        let x = solve_lower(l, &col)?;
+        for i in 0..n {
+            out[(i, j)] = x[i];
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower() -> Matrix {
+        Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[1.0, 3.0, 0.0], &[4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn solve_lower_known() {
+        let l = lower();
+        // x = [1, 2, 3] => b = L x
+        let b = l.matvec(&[1.0, 2.0, 3.0]).unwrap();
+        let x = solve_lower(&l, &b).unwrap();
+        for (xi, e) in x.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((xi - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_lower_transpose_known() {
+        let l = lower();
+        let lt = l.transpose();
+        let b = lt.matvec(&[1.0, -1.0, 2.0]).unwrap();
+        let x = solve_lower_transpose(&l, &b).unwrap();
+        for (xi, e) in x.iter().zip([1.0, -1.0, 2.0]) {
+            assert!((xi - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_upper_known() {
+        let u = lower().transpose();
+        let b = u.matvec(&[0.5, 1.5, -2.0]).unwrap();
+        let x = solve_upper(&u, &b).unwrap();
+        for (xi, e) in x.iter().zip([0.5, 1.5, -2.0]) {
+            assert!((xi - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let l = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 0.0]]).unwrap();
+        assert_eq!(
+            solve_lower(&l, &[1.0, 1.0]),
+            Err(LinalgError::Singular { index: 1 })
+        );
+        assert!(solve_lower_transpose(&l, &[1.0, 1.0]).is_err());
+        assert!(solve_upper(&l.transpose(), &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let l = lower();
+        assert!(solve_lower(&l, &[1.0]).is_err());
+        assert!(solve_lower_transpose(&l, &[1.0]).is_err());
+        assert!(solve_upper(&l, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_lower_matrix_matches_columnwise() {
+        let l = lower();
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let x = solve_lower_matrix(&l, &b).unwrap();
+        // L * X should reproduce B.
+        let lb = l.matmul(&x).unwrap();
+        assert!(lb.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn upper_entries_ignored_by_lower_solve() {
+        let mut l = lower();
+        l[(0, 2)] = 99.0; // garbage above the diagonal must not matter
+        let b = vec![2.0, 4.0, 15.0];
+        let x1 = solve_lower(&l, &b).unwrap();
+        let x2 = solve_lower(&lower(), &b).unwrap();
+        for (a, b) in x1.iter().zip(&x2) {
+            assert_eq!(a, b);
+        }
+    }
+}

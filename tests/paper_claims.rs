@@ -1,0 +1,157 @@
+//! Integration tests pinning the paper's qualitative claims at test scale.
+//! The full-scale versions live in `crates/bench/src/bin/repro_*`; these
+//! are fast, assertive versions run by `cargo test --workspace`.
+
+use alperf::al::convergence::ConvergenceDetector;
+use alperf::al::runner::{run_al, AlConfig};
+use alperf::al::strategy::VarianceReduction;
+use alperf::cluster::campaign::{Campaign, COL_FREQ, COL_NP, COL_OPERATOR, COL_SIZE};
+use alperf::cluster::workload::WorkloadSpec;
+use alperf::data::partition::Partition;
+use alperf::framework::analysis::paper_kernel_bounds;
+use alperf::gp::noise::NoiseFloor;
+use alperf::gp::kernel::ArdSquaredExponential;
+use alperf::gp::optimize::GprConfig;
+use alperf::linalg::matrix::Matrix;
+
+fn focus_problem() -> (Matrix, Vec<f64>, Vec<f64>) {
+    let out = Campaign {
+        spec: WorkloadSpec {
+            focus_size_levels: 9,
+            default_size_levels: 2,
+            ..Default::default()
+        },
+        workers: 2,
+        ..Default::default()
+    }
+    .run()
+    .expect("campaign");
+    let sub = out
+        .performance
+        .fix_level(COL_OPERATOR, "poisson1")
+        .expect("operator")
+        .fix_variable(COL_NP, 32.0)
+        .expect("NP");
+    let sizes = &sub.variable(COL_SIZE).expect("size").values;
+    let freqs = &sub.variable(COL_FREQ).expect("freq").values;
+    let y: Vec<f64> = sub
+        .response("Runtime")
+        .expect("runtime")
+        .iter()
+        .map(|v| v.log10())
+        .collect();
+    let n = sub.n_rows();
+    let mut flat = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        flat.push(sizes[i].log10());
+        flat.push(freqs[i]);
+    }
+    (Matrix::from_vec(n, 2, flat).expect("matrix"), y, vec![1.0; n])
+}
+
+fn gpr(floor: NoiseFloor, seed: u64) -> GprConfig {
+    GprConfig::new(Box::new(ArdSquaredExponential::unit(2)))
+        .with_noise_floor(floor)
+        .with_kernel_bounds(paper_kernel_bounds(2))
+        .with_restarts(2)
+        .with_standardize(false)
+        .with_seed(seed)
+}
+
+/// Paper Fig. 7: the loose noise floor lets early predictive uncertainty
+/// collapse; the recommended floor prevents it.
+#[test]
+fn noise_floor_prevents_early_uncertainty_collapse() {
+    let (x, y, cost) = focus_problem();
+    let min_early = |floor: NoiseFloor| -> f64 {
+        let mut worst: f64 = f64::INFINITY;
+        for rep in 0..3u64 {
+            let cfg = AlConfig {
+                max_iters: 8,
+                seed: rep,
+                ..AlConfig::new(gpr(floor, 50 + rep))
+            };
+            let part = Partition::paper_default(x.nrows(), 900 + rep);
+            let run = run_al(&x, &y, &cost, &part, &mut VarianceReduction, &cfg).expect("AL");
+            for r in run.history.iter().take(5) {
+                worst = worst.min(r.amsd);
+            }
+        }
+        worst
+    };
+    let loose = min_early(NoiseFloor::loose());
+    let tight = min_early(NoiseFloor::recommended());
+    assert!(
+        loose < tight / 3.0,
+        "loose floor min AMSD {loose:.3e} should be well below tight {tight:.3e}"
+    );
+}
+
+/// Paper Fig. 6: starting from a single seed, Variance Reduction explores
+/// the domain boundary before the interior.
+#[test]
+fn variance_reduction_explores_edges_first() {
+    let (x, y, cost) = focus_problem();
+    let cfg = AlConfig {
+        max_iters: 6,
+        seed: 0,
+        ..AlConfig::new(gpr(NoiseFloor::recommended(), 1))
+    };
+    let part = Partition::paper_default(x.nrows(), 77);
+    let run = run_al(&x, &y, &cost, &part, &mut VarianceReduction, &cfg).expect("AL");
+    // "Edge" in either dimension — the star pattern visits size extremes
+    // *and* frequency extremes.
+    let col = |j: usize| -> (f64, f64) {
+        let v: Vec<f64> = (0..x.nrows()).map(|i| x[(i, j)]).collect();
+        (
+            v.iter().cloned().fold(f64::INFINITY, f64::min),
+            v.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        )
+    };
+    let (s_lo, s_hi) = col(0);
+    let (f_lo, f_hi) = col(1);
+    let third = (s_hi - s_lo) / 3.0;
+    let is_edge = |r: &alperf::al::runner::IterationRecord| {
+        r.x[0] < s_lo + third
+            || r.x[0] > s_hi - third
+            || r.x[1] <= f_lo + 1e-9
+            || r.x[1] >= f_hi - 1e-9
+    };
+    let outer = run.history.iter().take(4).filter(|r| is_edge(r)).count();
+    assert!(
+        outer >= 3,
+        "expected >=3 of the first 4 picks on the domain edge, got {outer}"
+    );
+}
+
+/// Paper §V-B4: when AMSD converges, RMSE has also stabilized — stopping at
+/// AMSD convergence loses (almost) nothing.
+#[test]
+fn amsd_convergence_implies_rmse_convergence() {
+    let (x, y, cost) = focus_problem();
+    let cfg = AlConfig {
+        max_iters: 60,
+        seed: 4,
+        ..AlConfig::new(gpr(NoiseFloor::recommended(), 9))
+    };
+    let part = Partition::paper_default(x.nrows(), 55);
+    let run = run_al(&x, &y, &cost, &part, &mut VarianceReduction, &cfg).expect("AL");
+    let amsd: Vec<f64> = run.history.iter().map(|r| r.amsd).collect();
+    let rmse: Vec<f64> = run.history.iter().map(|r| r.rmse).collect();
+    let detector = ConvergenceDetector {
+        window: 6,
+        rel_tolerance: 0.12,
+    };
+    let Some(stop) = detector.converged_at(&amsd) else {
+        // Convergence within 60 iterations is data-dependent; if AMSD never
+        // stabilizes there is nothing to check.
+        return;
+    };
+    let rmse_at_stop = rmse[stop];
+    let rmse_final = *rmse.last().expect("non-empty");
+    assert!(
+        rmse_at_stop <= rmse_final * 2.5 + 0.02,
+        "stopping at AMSD convergence (iter {stop}) left RMSE {rmse_at_stop:.4} \
+         far above the final {rmse_final:.4}"
+    );
+}
