@@ -130,15 +130,20 @@ mod tests {
             false,
         )
         .unwrap();
-        Fx { x_all, y_all: y, train, pool, model }
+        Fx {
+            x_all,
+            y_all: y,
+            train,
+            pool,
+            model,
+        }
     }
 
     fn ctx_select(fx: &Fx, strat: &mut dyn Strategy, seed: u64) -> Option<usize> {
         let preds: Vec<Prediction> = fx
-            .pool
-            .iter()
-            .map(|&i| fx.model.predict_one(fx.x_all.row(i)).unwrap())
-            .collect();
+            .model
+            .predict_batch(&fx.x_all.select_rows(&fx.pool))
+            .unwrap();
         let ctx = SelectionContext {
             model: &fx.model,
             x_all: &fx.x_all,
@@ -205,10 +210,7 @@ mod tests {
         )
         .unwrap();
         let pool: Vec<usize> = (0..10).collect();
-        let preds: Vec<Prediction> = pool
-            .iter()
-            .map(|&i| model.predict_one(x_all.row(i)).unwrap())
-            .collect();
+        let preds: Vec<Prediction> = model.predict_batch(&x_all.select_rows(&pool)).unwrap();
         let mut max_sum = 0.0;
         let mut min_sum = 0.0;
         for s in 0..8 {
@@ -221,9 +223,13 @@ mod tests {
                 predictions: &preds,
             };
             let mut rng = StdRng::seed_from_u64(s);
-            let pmax = ThompsonSampling { minimize: false }.select(&ctx, &mut rng).unwrap();
+            let pmax = ThompsonSampling { minimize: false }
+                .select(&ctx, &mut rng)
+                .unwrap();
             let mut rng = StdRng::seed_from_u64(s);
-            let pmin = ThompsonSampling { minimize: true }.select(&ctx, &mut rng).unwrap();
+            let pmin = ThompsonSampling { minimize: true }
+                .select(&ctx, &mut rng)
+                .unwrap();
             max_sum += x_all.row(pool[pmax])[0];
             min_sum += x_all.row(pool[pmin])[0];
         }

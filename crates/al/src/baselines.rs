@@ -163,7 +163,11 @@ mod tests {
     #[test]
     fn all_designs_produce_m_distinct_rows() {
         let (x, _, _, pool, _) = data();
-        for d in [StaticDesign::Random, StaticDesign::Stratified, StaticDesign::Corners] {
+        for d in [
+            StaticDesign::Random,
+            StaticDesign::Stratified,
+            StaticDesign::Corners,
+        ] {
             let rows = choose_rows(d, &x, &pool, 8, 0);
             assert_eq!(rows.len(), 8, "{d:?}");
             let set: std::collections::BTreeSet<_> = rows.iter().collect();
@@ -187,11 +191,27 @@ mod tests {
     fn more_experiments_reduce_error() {
         let (x, y, cost, pool, test) = data();
         let small = evaluate_static(
-            StaticDesign::Stratified, &x, &y, &cost, &pool, &test, 4, &gpr(), 0,
+            StaticDesign::Stratified,
+            &x,
+            &y,
+            &cost,
+            &pool,
+            &test,
+            4,
+            &gpr(),
+            0,
         )
         .unwrap();
         let large = evaluate_static(
-            StaticDesign::Stratified, &x, &y, &cost, &pool, &test, 20, &gpr(), 0,
+            StaticDesign::Stratified,
+            &x,
+            &y,
+            &cost,
+            &pool,
+            &test,
+            20,
+            &gpr(),
+            0,
         )
         .unwrap();
         assert!(
@@ -224,7 +244,15 @@ mod tests {
         let (x, y, _, pool, test) = data();
         let cost: Vec<f64> = (0..40).map(|i| i as f64).collect();
         let res = evaluate_static(
-            StaticDesign::Random, &x, &y, &cost, &pool, &test, 5, &gpr(), 1,
+            StaticDesign::Random,
+            &x,
+            &y,
+            &cost,
+            &pool,
+            &test,
+            5,
+            &gpr(),
+            1,
         )
         .unwrap();
         let expect: f64 = res.rows.iter().map(|&i| cost[i]).sum();

@@ -38,23 +38,25 @@ pub fn select_batch(
     let noise = model.noise_std();
     let mut current = Gpr::fit(fx.clone(), &fy, kernel.clone_box(), noise, true)?;
     for _ in 0..q.min(pool.len()) {
-        // Max predictive SD among unchosen pool candidates.
-        let mut best: Option<(usize, f64)> = None;
-        for (pos, &row) in pool.iter().enumerate() {
-            if chosen.contains(&pos) {
-                continue;
-            }
-            let p = current.predict_one(x_all.row(row))?;
+        // Max predictive SD among unchosen pool candidates — one batched
+        // prediction per round instead of a per-candidate loop.
+        let open: Vec<usize> = (0..pool.len()).filter(|p| !chosen.contains(p)).collect();
+        let open_rows: Vec<usize> = open.iter().map(|&p| pool[p]).collect();
+        let preds = current.predict_batch(&x_all.select_rows(&open_rows))?;
+        let mut best: Option<(usize, f64, f64)> = None;
+        for (i, &pos) in open.iter().enumerate() {
+            let p = &preds[i];
             match best {
-                Some((_, bs)) if bs >= p.std => {}
-                _ => best = Some((pos, p.std)),
+                Some((_, bs, _)) if bs >= p.std => {}
+                _ => best = Some((pos, p.std, p.mean)),
             }
         }
-        let Some((pos, _)) = best else { break };
+        let Some((pos, _, fantasy_y)) = best else {
+            break;
+        };
         chosen.push(pos);
         // Fantasy update: condition on the predicted mean at the new point.
         let row = pool[pos];
-        let fantasy_y = current.predict_one(x_all.row(row))?.mean;
         fx = fx.with_row(x_all.row(row)).expect("consistent dims");
         fy.push(fantasy_y);
         current = Gpr::fit(fx.clone(), &fy, kernel.clone_box(), noise, true)?;
@@ -121,19 +123,25 @@ mod tests {
         // adjacent. Batch selection must separate them more.
         let (x_all, y, train, pool, model) = setup();
         let y_train = vec![y[10]];
-        let mut scored: Vec<(usize, f64)> = pool
+        let pool_preds = model.predict_batch(&x_all.select_rows(&pool)).unwrap();
+        let mut scored: Vec<(usize, f64)> = pool_preds
             .iter()
             .enumerate()
-            .map(|(pos, &row)| (pos, model.predict_one(x_all.row(row)).unwrap().std))
+            .map(|(pos, p)| (pos, p.std))
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-        let naive: Vec<f64> = scored[..3].iter().map(|&(p, _)| x_all.row(pool[p])[0]).collect();
+        let naive: Vec<f64> = scored[..3]
+            .iter()
+            .map(|&(p, _)| x_all.row(pool[p])[0])
+            .collect();
         let batch = select_batch(&model, &x_all, &train, &y_train, &pool, 3).unwrap();
         let fancy: Vec<f64> = batch.iter().map(|&p| x_all.row(pool[p])[0]).collect();
         let min_gap = |v: &[f64]| -> f64 {
             let mut s = v.to_vec();
             s.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            s.windows(2).map(|w| w[1] - w[0]).fold(f64::INFINITY, f64::min)
+            s.windows(2)
+                .map(|w| w[1] - w[0])
+                .fold(f64::INFINITY, f64::min)
         };
         assert!(
             min_gap(&fancy) >= min_gap(&naive),

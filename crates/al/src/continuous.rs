@@ -14,6 +14,7 @@
 //! points), and convenience criteria matching the paper's two strategies.
 
 use alperf_gp::model::{GpError, Gpr};
+use alperf_linalg::matrix::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -42,11 +43,9 @@ impl Criterion {
     pub fn score_gradient(&self, grad_mean: &[f64], grad_std: &[f64]) -> Vec<f64> {
         match self {
             Criterion::Sigma => grad_std.to_vec(),
-            Criterion::SigmaMinusMean => grad_std
-                .iter()
-                .zip(grad_mean)
-                .map(|(s, m)| s - m)
-                .collect(),
+            Criterion::SigmaMinusMean => {
+                grad_std.iter().zip(grad_mean).map(|(s, m)| s - m).collect()
+            }
             Criterion::Ucb => grad_mean
                 .iter()
                 .zip(grad_std)
@@ -87,54 +86,84 @@ impl ContinuousAcquisition {
 
     /// Maximize `criterion` over the box; returns `(x*, score)`.
     ///
+    /// All start points are scored in one batched prediction, and each
+    /// pattern-search sweep scores its `2d` axis probes in one batch and
+    /// takes the *best* improving probe (best-improvement; the batched
+    /// probes come for the same price as one, so there is nothing to gain
+    /// from stopping at the first).
+    ///
     /// # Errors
     /// Propagates prediction failures (dimension mismatch with the model).
-    pub fn maximize(
-        &self,
-        model: &Gpr,
-        criterion: Criterion,
-    ) -> Result<(Vec<f64>, f64), GpError> {
+    pub fn maximize(&self, model: &Gpr, criterion: Criterion) -> Result<(Vec<f64>, f64), GpError> {
         let d = self.bounds.len();
-        let eval = |x: &[f64]| -> Result<f64, GpError> {
-            let p = model.predict_one(x)?;
-            Ok(criterion.score(p.mean, p.std))
+        let score_batch = |cands: &Matrix| -> Result<Vec<f64>, GpError> {
+            Ok(model
+                .predict_batch(cands)?
+                .iter()
+                .map(|p| criterion.score(p.mean, p.std))
+                .collect())
         };
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let starts: Vec<Vec<f64>> = (0..=self.starts)
+            .map(|start| {
+                if start == 0 {
+                    self.bounds.iter().map(|(lo, hi)| 0.5 * (lo + hi)).collect()
+                } else {
+                    self.bounds
+                        .iter()
+                        .map(|(lo, hi)| rng.gen_range(*lo..=*hi))
+                        .collect()
+                }
+            })
+            .collect();
+        let start_m =
+            Matrix::from_vec(starts.len(), d, starts.concat()).expect("starts are d-dimensional");
+        let start_f = score_batch(&start_m)?;
         let mut best_x: Option<Vec<f64>> = None;
         let mut best_f = f64::NEG_INFINITY;
-        for start in 0..=self.starts {
-            let mut x: Vec<f64> = if start == 0 {
-                self.bounds.iter().map(|(lo, hi)| 0.5 * (lo + hi)).collect()
-            } else {
-                self.bounds
-                    .iter()
-                    .map(|(lo, hi)| rng.gen_range(*lo..=*hi))
-                    .collect()
-            };
-            let mut f = eval(&x)?;
-            // Pattern search: probe +/- step along each axis, shrink on
-            // failure.
+        for (mut x, mut f) in starts.into_iter().zip(start_f) {
+            // Pattern search: probe +/- step along each axis (one batched
+            // prediction per sweep), shrink on failure.
             let mut steps: Vec<f64> = self
                 .bounds
                 .iter()
                 .map(|(lo, hi)| (hi - lo) * 0.25)
                 .collect();
             for _ in 0..self.iters {
-                let mut improved = false;
+                let mut probes: Vec<f64> = Vec::with_capacity(2 * d * d);
+                let mut n_probes = 0usize;
                 for j in 0..d {
                     for dir in [1.0, -1.0] {
                         let mut cand = x.clone();
-                        cand[j] = (cand[j] + dir * steps[j])
-                            .clamp(self.bounds[j].0, self.bounds[j].1);
+                        cand[j] =
+                            (cand[j] + dir * steps[j]).clamp(self.bounds[j].0, self.bounds[j].1);
                         if cand[j] == x[j] {
                             continue;
                         }
-                        let fc = eval(&cand)?;
+                        probes.extend_from_slice(&cand);
+                        n_probes += 1;
+                    }
+                }
+                let mut improved = false;
+                if n_probes > 0 {
+                    let pm =
+                        Matrix::from_vec(n_probes, d, probes).expect("probes are d-dimensional");
+                    let fs = score_batch(&pm)?;
+                    let mut pick: Option<(usize, f64)> = None;
+                    for (i, &fc) in fs.iter().enumerate() {
+                        if fc.is_nan() {
+                            continue;
+                        }
+                        match pick {
+                            Some((_, pf)) if pf >= fc => {}
+                            _ => pick = Some((i, fc)),
+                        }
+                    }
+                    if let Some((i, fc)) = pick {
                         if fc > f {
-                            x = cand;
+                            x = pm.row(i).to_vec();
                             f = fc;
                             improved = true;
-                            break;
                         }
                     }
                 }
@@ -276,11 +305,12 @@ mod tests {
         let gpr = model();
         let acq = ContinuousAcquisition::new(vec![(0.0, 10.0)]);
         let (x_star, f_star) = acq.maximize(&gpr, Criterion::Sigma).unwrap();
-        // Dense grid reference.
+        // Dense grid reference, scored in one batched prediction.
         let grid = linspace(0.0, 10.0, 2001);
+        let gm = Matrix::from_vec(grid.len(), 1, grid.clone()).unwrap();
+        let preds = gpr.predict_batch(&gm).unwrap();
         let (mut gx, mut gf) = (0.0, f64::NEG_INFINITY);
-        for &g in &grid {
-            let p = gpr.predict_one(&[g]).unwrap();
+        for (&g, p) in grid.iter().zip(&preds) {
             if p.std > gf {
                 gf = p.std;
                 gx = g;
@@ -317,7 +347,10 @@ mod tests {
         let (x_ucb, _) = acq.maximize(&gpr, Criterion::Ucb).unwrap();
         // UCB is pulled toward the high-mean region near x=4; sigma runs to
         // the boundary.
-        assert!((x_sigma[0] - x_ucb[0]).abs() > 0.5, "{x_sigma:?} vs {x_ucb:?}");
+        assert!(
+            (x_sigma[0] - x_ucb[0]).abs() > 0.5,
+            "{x_sigma:?} vs {x_ucb:?}"
+        );
     }
 
     #[test]

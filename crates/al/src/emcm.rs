@@ -21,9 +21,11 @@
 use crate::strategy::{SelectionContext, Strategy};
 use alperf_gp::kernel::Kernel;
 use alperf_gp::model::Gpr;
+use alperf_linalg::matrix::Matrix;
 use alperf_linalg::vector::norm2;
 use rand::rngs::StdRng;
 use rand::Rng;
+use rayon::prelude::*;
 
 /// EMCM acquisition with K bootstrap GPR weak learners.
 pub struct Emcm {
@@ -71,35 +73,47 @@ impl Strategy for Emcm {
             return None;
         }
         let n = ctx.train.len();
-        // Build K bootstrap weak learners on resampled training data.
-        let mut weak: Vec<Gpr> = Vec::with_capacity(self.k);
-        for _ in 0..self.k {
-            let sample: Vec<usize> = (0..n).map(|_| ctx.train[rng.gen_range(0..n)]).collect();
-            let xs = ctx.x_all.select_rows(&sample);
-            let ys: Vec<f64> = sample.iter().map(|&i| ctx.y_all[i]).collect();
-            match Gpr::fit(xs, &ys, self.kernel.clone_box(), self.noise_std, true) {
-                Ok(g) => weak.push(g),
-                Err(_) => continue, // degenerate resample; skip this learner
-            }
-        }
+        // Draw all bootstrap index sets serially (determinism: the RNG
+        // stream must not depend on thread scheduling), then fit the K weak
+        // learners in parallel — each fit is an independent O(n^3) Cholesky.
+        let samples: Vec<Vec<usize>> = (0..self.k)
+            .map(|_| (0..n).map(|_| ctx.train[rng.gen_range(0..n)]).collect())
+            .collect();
+        let weak: Vec<Gpr> = samples
+            .par_iter()
+            .map(|sample| {
+                let xs = ctx.x_all.select_rows(sample);
+                let ys: Vec<f64> = sample.iter().map(|&i| ctx.y_all[i]).collect();
+                // A degenerate resample fails to factor; skip that learner.
+                Gpr::fit(xs, &ys, self.kernel.clone_box(), self.noise_std, true).ok()
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect();
         if weak.is_empty() {
             return None;
         }
-        // Score pool candidates.
+        // Score pool candidates: one batched prediction per weak learner
+        // over the eligible candidates instead of a per-candidate loop.
+        let eligible: Vec<usize> = (0..ctx.pool.len())
+            .filter(|&pos| !(self.exclude_seen && self.is_seen(ctx.x_all.row(ctx.pool[pos]))))
+            .collect();
+        let rows: Vec<usize> = eligible.iter().map(|&pos| ctx.pool[pos]).collect();
+        let cand_x: Matrix = ctx.x_all.select_rows(&rows);
+        let committee: Vec<_> = weak
+            .par_iter()
+            .map(|w| w.predict_batch(&cand_x).ok())
+            .collect();
         let mut best: Option<(usize, f64)> = None;
-        for (pos, &row) in ctx.pool.iter().enumerate() {
-            let x = ctx.x_all.row(row);
-            if self.exclude_seen && self.is_seen(x) {
-                continue;
-            }
+        for (ci, &pos) in eligible.iter().enumerate() {
+            let x = cand_x.row(ci);
             let f = ctx.predictions[pos].mean;
             let mut change = 0.0;
             let mut used = 0usize;
-            for w in &weak {
-                if let Ok(p) = w.predict_one(x) {
-                    change += (f - p.mean).abs();
-                    used += 1;
-                }
+            for preds in committee.iter().flatten() {
+                change += (f - preds[ci].mean).abs();
+                used += 1;
             }
             if used == 0 {
                 continue;
@@ -156,11 +170,7 @@ mod tests {
         let xs = f.x_all.select_rows(&f.train);
         let ys: Vec<f64> = f.train.iter().map(|&i| f.y_all[i]).collect();
         let model = Gpr::fit(xs, &ys, Box::new(SquaredExponential::unit()), 0.1, true).unwrap();
-        let preds: Vec<Prediction> = f
-            .pool
-            .iter()
-            .map(|&i| model.predict_one(f.x_all.row(i)).unwrap())
-            .collect();
+        let preds: Vec<Prediction> = model.predict_batch(&f.x_all.select_rows(&f.pool)).unwrap();
         let ctx = SelectionContext {
             model: &model,
             x_all: &f.x_all,
@@ -196,7 +206,10 @@ mod tests {
                 far += 1;
             }
         }
-        assert!(far * 2 > total, "only {far}/{total} picks were far candidates");
+        assert!(
+            far * 2 > total,
+            "only {far}/{total} picks were far candidates"
+        );
     }
 
     #[test]

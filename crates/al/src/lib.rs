@@ -30,6 +30,7 @@
 pub mod advanced;
 pub mod baselines;
 pub mod batch;
+pub mod cache;
 pub mod continuous;
 pub mod convergence;
 pub mod emcm;

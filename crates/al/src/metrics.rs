@@ -6,7 +6,6 @@
 //! mean / min / max envelopes for any recorded quantity.
 
 use crate::runner::AlRun;
-use alperf_linalg::stats;
 
 /// Mean and envelope of a per-iteration quantity across runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,16 +31,27 @@ impl Envelope {
 }
 
 /// Build an envelope for a quantity extracted from each iteration record.
-pub fn envelope(runs: &[AlRun], quantity: impl Fn(&crate::runner::IterationRecord) -> f64) -> Envelope {
+pub fn envelope(
+    runs: &[AlRun],
+    quantity: impl Fn(&crate::runner::IterationRecord) -> f64,
+) -> Envelope {
     let n_iters = runs.iter().map(|r| r.history.len()).min().unwrap_or(0);
     let mut mean = Vec::with_capacity(n_iters);
     let mut lo = Vec::with_capacity(n_iters);
     let mut hi = Vec::with_capacity(n_iters);
+    // One pass per iteration: fold sum/min/max directly over the runs
+    // instead of materializing a per-iteration Vec.
     for i in 0..n_iters {
-        let vals: Vec<f64> = runs.iter().map(|r| quantity(&r.history[i])).collect();
-        mean.push(stats::mean(&vals));
-        lo.push(stats::min(&vals).unwrap_or(f64::NAN));
-        hi.push(stats::max(&vals).unwrap_or(f64::NAN));
+        let (sum, mn, mx) = runs.iter().fold(
+            (0.0f64, f64::INFINITY, f64::NEG_INFINITY),
+            |(s, mn, mx), r| {
+                let v = quantity(&r.history[i]);
+                (s + v, mn.min(v), mx.max(v))
+            },
+        );
+        mean.push(sum / runs.len() as f64);
+        lo.push(mn);
+        hi.push(mx);
     }
     Envelope { mean, lo, hi }
 }

@@ -93,7 +93,11 @@ pub struct TradeoffComparison {
 }
 
 /// Compare two strategies on a common grid.
-pub fn compare(baseline_runs: &[AlRun], contender_runs: &[AlRun], grid_points: usize) -> TradeoffComparison {
+pub fn compare(
+    baseline_runs: &[AlRun],
+    contender_runs: &[AlRun],
+    grid_points: usize,
+) -> TradeoffComparison {
     // Shared grid: union of both strategies' cost ranges.
     let mut both = baseline_runs.to_vec();
     both.extend(contender_runs.iter().cloned());

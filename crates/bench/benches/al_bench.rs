@@ -70,7 +70,10 @@ fn bench_selection(c: &mut Criterion) {
         .collect();
     let mut g = c.benchmark_group("acquisition_argmax");
     for (name, mut strat) in [
-        ("variance_reduction", Box::new(VarianceReduction) as Box<dyn Strategy>),
+        (
+            "variance_reduction",
+            Box::new(VarianceReduction) as Box<dyn Strategy>,
+        ),
         ("cost_efficiency", Box::new(CostEfficiency)),
         ("random", Box::new(RandomSampling)),
     ] {

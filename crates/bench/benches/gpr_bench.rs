@@ -73,11 +73,67 @@ fn bench_predict(c: &mut Criterion) {
     g.sample_size(50);
     for n in [64usize, 256] {
         let (x, y) = training_data(n);
-        let gpr = Gpr::fit(x, &y, Box::new(SquaredExponential::new(1.0, 1.0)), 0.1, true)
-            .expect("fit");
+        let gpr = Gpr::fit(
+            x,
+            &y,
+            Box::new(SquaredExponential::new(1.0, 1.0)),
+            0.1,
+            true,
+        )
+        .expect("fit");
         g.bench_with_input(BenchmarkId::from_parameter(n), &gpr, |b, gpr| {
             b.iter(|| gpr.predict_one(black_box(&[5.0, 1.8])).expect("predict"))
         });
+    }
+    g.finish();
+}
+
+fn pool_points(m: usize) -> Matrix {
+    // Pool candidates over the same box as `training_data`, deterministic.
+    Matrix::from_fn(m, 2, |i, j| {
+        if j == 0 {
+            3.0 + 6.0 * ((i * 13 % m) as f64 / m as f64)
+        } else {
+            1.2 + 1.2 * ((i * 29 % m) as f64 / m as f64)
+        }
+    })
+}
+
+fn bench_predict_pool(c: &mut Criterion) {
+    // The tentpole measurement: scoring a whole candidate pool through one
+    // blocked multi-RHS batch vs. the per-point loop the AL iteration used
+    // to run. `BENCH_gpr_predict.json` is generated from these lines.
+    let mut g = c.benchmark_group("predict_pool");
+    g.sample_size(10);
+    for n in [50usize, 200] {
+        let (x, y) = training_data(n);
+        let gpr = Gpr::fit(
+            x,
+            &y,
+            Box::new(SquaredExponential::new(1.0, 1.0)),
+            0.1,
+            true,
+        )
+        .expect("fit");
+        for m in [64usize, 256, 1024] {
+            let pool = pool_points(m);
+            g.bench_with_input(
+                BenchmarkId::new(format!("batch/train{n}"), format!("pool{m}")),
+                &pool,
+                |b, pool| b.iter(|| gpr.predict_batch(black_box(pool)).expect("predict")),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("loop/train{n}"), format!("pool{m}")),
+                &pool,
+                |b, pool| {
+                    b.iter(|| {
+                        (0..pool.nrows())
+                            .map(|i| gpr.predict_one(black_box(pool.row(i))).expect("predict"))
+                            .collect::<Vec<_>>()
+                    })
+                },
+            );
+        }
     }
     g.finish();
 }
@@ -103,6 +159,7 @@ criterion_group!(
     bench_lml,
     bench_lml_grad,
     bench_predict,
+    bench_predict_pool,
     bench_fit_optimized
 );
 criterion_main!(benches);

@@ -65,5 +65,11 @@ fn bench_dot(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_cholesky, bench_solve, bench_matmul, bench_dot);
+criterion_group!(
+    benches,
+    bench_cholesky,
+    bench_solve,
+    bench_matmul,
+    bench_dot
+);
 criterion_main!(benches);

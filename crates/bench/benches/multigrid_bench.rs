@@ -29,10 +29,14 @@ fn bench_operators(c: &mut Criterion) {
     let mut g = c.benchmark_group("fmg_by_operator");
     g.sample_size(10);
     for kind in OperatorKind::all() {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            let solver = FmgSolver::new(kind, 16);
-            b.iter(|| black_box(solver.run()))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                let solver = FmgSolver::new(kind, 16);
+                b.iter(|| black_box(solver.run()))
+            },
+        );
     }
     g.finish();
 }

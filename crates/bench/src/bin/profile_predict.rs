@@ -1,0 +1,123 @@
+use alperf_gp::kernel::Kernel;
+use alperf_gp::kernel::SquaredExponential;
+use alperf_gp::model::Gpr;
+use alperf_linalg::matrix::Matrix;
+use alperf_linalg::triangular::{solve_lower_matrix, solve_lower_rhs_rows};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let n = 200usize;
+    let m = 1024usize;
+    let x = Matrix::from_fn(n, 2, |i, j| {
+        if j == 0 {
+            3.0 + 6.0 * (i as f64 / n as f64)
+        } else {
+            1.2 + 1.2 * ((i * 7 % n) as f64 / n as f64)
+        }
+    });
+    let y: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.1).sin() + i as f64 * 0.01)
+        .collect();
+    let gpr = Gpr::fit(
+        x.clone(),
+        &y,
+        Box::new(SquaredExponential::new(1.0, 1.0)),
+        0.1,
+        true,
+    )
+    .unwrap();
+    let pool = Matrix::from_fn(m, 2, |i, j| {
+        if j == 0 {
+            3.0 + 6.0 * ((i * 13 % m) as f64 / m as f64)
+        } else {
+            1.2 + 1.2 * ((i * 29 % m) as f64 / m as f64)
+        }
+    });
+
+    let kern = SquaredExponential::new(1.0, 1.0);
+    let kxt = kern.cross_matrix(&pool, &x);
+    let b = kxt.transpose();
+    let l = Matrix::from_fn(n, n, |i, j| {
+        if j <= i {
+            1.0 + (i + j) as f64 * 0.001
+        } else {
+            0.0
+        }
+    });
+    let alpha = vec![0.01; n];
+
+    println!(
+        "crossK   : {:8.3} ms",
+        best(20, || {
+            black_box(kern.cross_matrix(&pool, &x));
+        })
+    );
+    println!(
+        "transp   : {:8.3} ms",
+        best(20, || {
+            black_box(kxt.transpose());
+        })
+    );
+    println!(
+        "solveM   : {:8.3} ms",
+        best(20, || {
+            black_box(solve_lower_matrix(&l, &b).unwrap());
+        })
+    );
+    println!(
+        "solveRows: {:8.3} ms",
+        best(20, || {
+            black_box(solve_lower_rhs_rows(&l, &kxt).unwrap());
+        })
+    );
+    println!(
+        "matvec   : {:8.3} ms",
+        best(20, || {
+            black_box(kxt.matvec(&alpha).unwrap());
+        })
+    );
+    println!(
+        "rownorms : {:8.3} ms",
+        best(20, || {
+            black_box(kxt.row_sq_norms());
+        })
+    );
+    println!(
+        "cross+slv: {:8.3} ms",
+        best(20, || {
+            let k = kern.cross_matrix(&pool, &x);
+            black_box(solve_lower_rhs_rows(&l, &k).unwrap());
+        })
+    );
+    println!(
+        "batchcr  : {:8.3} ms",
+        best(20, || {
+            black_box(gpr.predict_batch_with_cross(&pool, &kxt).unwrap());
+        })
+    );
+    println!(
+        "batch    : {:8.3} ms",
+        best(20, || {
+            black_box(gpr.predict_batch(&pool).unwrap());
+        })
+    );
+    println!(
+        "loop     : {:8.3} ms",
+        best(5, || {
+            for i in 0..m {
+                black_box(gpr.predict_one(pool.row(i)).unwrap());
+            }
+        })
+    );
+}

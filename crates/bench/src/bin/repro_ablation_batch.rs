@@ -77,9 +77,7 @@ fn run(mode: Mode, x: &Matrix, y: &[f64], part: &Partition, seed: u64) -> Vec<f6
         let ys: Vec<f64> = train.iter().map(|&i| y[i]).collect();
         let (model, _) = fit_gpr(&xs, &ys, &gpr_cfg(seed + round as u64)).expect("fit");
         let picks: Vec<usize> = match mode {
-            Mode::BatchFantasy => {
-                select_batch(&model, x, &train, &ys, &pool, Q).expect("batch")
-            }
+            Mode::BatchFantasy => select_batch(&model, x, &train, &ys, &pool, Q).expect("batch"),
             Mode::BatchNaive => {
                 let mut scored: Vec<(usize, f64)> = pool
                     .iter()

@@ -90,9 +90,18 @@ fn main() {
                 }
             }
         }
-        println!("finite pool argmax:   {pool_best:.5} at ({:.2}, {:.2})", pool_x[0], pool_x[1]);
-        println!("continuous optimizer: {cont_best:.5} at ({:.2}, {:.2})", cont_x[0], cont_x[1]);
-        println!("fine-grid reference:  {grid_best:.5} at ({:.2}, {:.2})", grid_x[0], grid_x[1]);
+        println!(
+            "finite pool argmax:   {pool_best:.5} at ({:.2}, {:.2})",
+            pool_x[0], pool_x[1]
+        );
+        println!(
+            "continuous optimizer: {cont_best:.5} at ({:.2}, {:.2})",
+            cont_x[0], cont_x[1]
+        );
+        println!(
+            "fine-grid reference:  {grid_best:.5} at ({:.2}, {:.2})",
+            grid_x[0], grid_x[1]
+        );
         let gap_pool = (grid_best - pool_best) / grid_best.abs().max(1e-12);
         let gap_cont = (grid_best - cont_best) / grid_best.abs().max(1e-12);
         println!(

@@ -47,7 +47,11 @@ fn problem() -> (Matrix, Vec<f64>, Vec<f64>) {
         flat.push(sizes[i].log10());
         flat.push(freqs[i]);
     }
-    (Matrix::from_vec(n, 2, flat).expect("matrix"), y, vec![1.0; n])
+    (
+        Matrix::from_vec(n, 2, flat).expect("matrix"),
+        y,
+        vec![1.0; n],
+    )
 }
 
 fn batch(
@@ -105,7 +109,9 @@ fn main() {
     let e = report("EMCM (K=4)", &emcm_runs);
     let v = report("Variance Reduction", &vr_runs);
     let r = report("Random", &rnd_runs);
-    let iters: Vec<f64> = (0..e.len().min(v.len()).min(r.len())).map(|i| i as f64).collect();
+    let iters: Vec<f64> = (0..e.len().min(v.len()).min(r.len()))
+        .map(|i| i as f64)
+        .collect();
     let k = iters.len();
     write_series(
         "ablation_emcm_rmse",
@@ -143,7 +149,10 @@ fn main() {
                 .and_then(|run| run.history.first().map(|h| h.chosen_row))
         })
         .collect();
-    println!("distinct first selections over 10 MC seeds: {}", firsts.len());
+    println!(
+        "distinct first selections over 10 MC seeds: {}",
+        firsts.len()
+    );
     // Variance Reduction is deterministic given the data:
     let vr_firsts: std::collections::BTreeSet<usize> = (0..10)
         .filter_map(|mc| {
@@ -163,6 +172,9 @@ fn main() {
                 .and_then(|run| run.history.first().map(|h| h.chosen_row))
         })
         .collect();
-    println!("distinct first selections for Variance Reduction: {}", vr_firsts.len());
+    println!(
+        "distinct first selections for Variance Reduction: {}",
+        vr_firsts.len()
+    );
     println!("\n(paper: EMCM's K weak learners are 'a Monte Carlo estimate of variance ... especially noisy when the training set is small'; GPR-variance selection has no such Monte Carlo noise)");
 }

@@ -104,9 +104,7 @@ fn main() {
             .filter(|v| v.is_finite())
             .sum::<f64>()
             / runs.len() as f64;
-        println!(
-            "{lambda:<8} {final_rmse:>12.4} {total_cost:>14.0} {at_budget:>18.4}"
-        );
+        println!("{lambda:<8} {final_rmse:>12.4} {total_cost:>14.0} {at_budget:>18.4}");
         lam_col.push(lambda);
         rmse_col.push(final_rmse);
         cost_col.push(total_cost);

@@ -47,7 +47,11 @@ fn problem() -> (Matrix, Vec<f64>, Vec<f64>) {
         flat.push(sizes[i].log10());
         flat.push(freqs[i]);
     }
-    (Matrix::from_vec(n, 2, flat).expect("matrix"), y, vec![1.0; n])
+    (
+        Matrix::from_vec(n, 2, flat).expect("matrix"),
+        y,
+        vec![1.0; n],
+    )
 }
 
 fn batch(x: &Matrix, y: &[f64], cost: &[f64], floor: NoiseFloor) -> Vec<AlRun> {
@@ -128,10 +132,7 @@ fn main() {
         names.push(name);
         final_rmses.push(final_rmse);
     }
-    write_series(
-        "ablation_noise_final_rmse",
-        &[("final_rmse", &final_rmses)],
-    );
+    write_series("ablation_noise_final_rmse", &[("final_rmse", &final_rmses)]);
     println!("\npolicies (row order): {names:?}");
     println!("\nreading: the loose floor shows the early AMSD collapse; the fixed 1e-1 floor and the dynamic 1/sqrt(N) floors avoid it, with the dynamic floors relaxing as evidence accumulates (the paper's proposed future-work behaviour).");
 }

@@ -45,7 +45,11 @@ fn problem() -> (Matrix, Vec<f64>, Vec<f64>) {
         flat.push(sizes[i].log10());
         flat.push(freqs[i]);
     }
-    (Matrix::from_vec(n, 2, flat).expect("matrix"), y, vec![1.0; n])
+    (
+        Matrix::from_vec(n, 2, flat).expect("matrix"),
+        y,
+        vec![1.0; n],
+    )
 }
 
 fn gpr(seed: u64) -> GprConfig {
@@ -65,7 +69,10 @@ fn main() {
 
     type Maker = Box<dyn Fn() -> Box<dyn Strategy>>;
     let adaptive: Vec<(&str, Maker)> = vec![
-        ("variance_reduction", Box::new(|| Box::new(VarianceReduction))),
+        (
+            "variance_reduction",
+            Box::new(|| Box::new(VarianceReduction)),
+        ),
         ("cost_efficiency", Box::new(|| Box::new(CostEfficiency))),
         (
             "alc_integrated",
@@ -104,7 +111,11 @@ fn main() {
     }
 
     // Static designs at the same budget (pool + test from the same splits).
-    for design in [StaticDesign::Random, StaticDesign::Stratified, StaticDesign::Corners] {
+    for design in [
+        StaticDesign::Random,
+        StaticDesign::Stratified,
+        StaticDesign::Corners,
+    ] {
         let mut total = 0.0;
         for rep in 0..REPETITIONS {
             let part = Partition::paper_default(x.nrows(), 7000 + rep as u64);

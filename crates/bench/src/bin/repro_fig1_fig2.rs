@@ -60,11 +60,7 @@ fn emit_subset(data: &DataSet, response: &str, tag: &str) {
             (&format!("log10_{response}"), &log_resp),
         ],
     );
-    println!(
-        "{tag}: {} points over NP in {:?}",
-        sizes.len(),
-        NP_SHOWN
-    );
+    println!("{tag}: {} points over NP in {:?}", sizes.len(), NP_SHOWN);
 }
 
 /// Mean per-setting relative spread of a response (repeat noise).

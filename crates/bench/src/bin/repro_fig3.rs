@@ -59,7 +59,10 @@ fn emit_gprs(x: &[f64], y: &[f64], tag: &str) {
     let xm = Matrix::from_vec(x.len(), 1, x.to_vec()).expect("design matrix");
     let mut columns: Vec<(String, Vec<f64>)> = vec![("log10_size".into(), grid.clone())];
     println!("\nFig. 3{tag}: {} training points", x.len());
-    println!("{:<22} {:>12} {:>14}", "(l, sigma_f)", "mean CI width", "max CI width");
+    println!(
+        "{:<22} {:>12} {:>14}",
+        "(l, sigma_f)", "mean CI width", "max CI width"
+    );
     for &(l, sf) in &SETTINGS {
         let gpr = Gpr::fit(
             xm.clone(),

@@ -82,7 +82,10 @@ fn main() {
         .collect();
     let xm1 = Matrix::from_vec(x1.len(), 1, x1).expect("matrix");
     let (best_rich, drop_rich) = lml_grid(&xm1, &y1, "fig4_lml_rich");
-    println!("n = {} points: max LML = {best_rich:.2}, peak-to-p90 drop = {drop_rich:.2}", y1.len());
+    println!(
+        "n = {} points: max LML = {best_rich:.2}, peak-to-p90 drop = {drop_rich:.2}",
+        y1.len()
+    );
 
     banner("Fig. 5(b): LML contour for the 4-point 2-D dataset");
     let sub2 = data

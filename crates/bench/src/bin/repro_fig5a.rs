@@ -105,7 +105,9 @@ fn main() {
     // Checks: CI width at training points vs at the (max size, max freq) corner.
     let at_train: Vec<f64> = (0..4)
         .map(|i| {
-            let p = gpr.predict_one(&[flat[2 * i], flat[2 * i + 1]]).expect("prediction");
+            let p = gpr
+                .predict_one(&[flat[2 * i], flat[2 * i + 1]])
+                .expect("prediction");
             let (a, b) = p.ci95();
             b - a
         })

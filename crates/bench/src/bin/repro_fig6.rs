@@ -11,10 +11,10 @@
 use alperf_al::runner::{run_al, AlConfig};
 use alperf_al::strategy::VarianceReduction;
 use alperf_bench::{banner, load_datasets, write_series};
+use alperf_core::analysis::paper_kernel_bounds;
 use alperf_data::partition::Partition;
 use alperf_gp::kernel::ArdSquaredExponential;
 use alperf_gp::noise::NoiseFloor;
-use alperf_core::analysis::paper_kernel_bounds;
 use alperf_gp::optimize::GprConfig;
 use alperf_linalg::matrix::Matrix;
 
@@ -57,7 +57,7 @@ fn main() {
         .with_noise_floor(NoiseFloor::recommended())
         .with_restarts(3)
         .with_kernel_bounds(paper_kernel_bounds(2))
-                .with_standardize(false)
+        .with_standardize(false)
         .with_seed(6);
     let cfg = AlConfig {
         max_iters: 100,
@@ -70,7 +70,10 @@ fn main() {
     let xs: Vec<f64> = run.history.iter().map(|r| r.x[0]).collect();
     let fs: Vec<f64> = run.history.iter().map(|r| r.x[1]).collect();
     let it: Vec<f64> = run.history.iter().map(|r| r.iter as f64).collect();
-    write_series("fig6_trajectory", &[("iter", &it), ("log10_size", &xs), ("freq", &fs)]);
+    write_series(
+        "fig6_trajectory",
+        &[("iter", &it), ("log10_size", &xs), ("freq", &fs)],
+    );
 
     // Edge-first check: what fraction of the first 10 selections lie on the
     // boundary of the (size, freq) domain, vs. the fraction of boundary
@@ -103,7 +106,10 @@ fn main() {
         .iter()
         .filter(|r| !is_edge(r.x[0], r.x[1]))
         .count();
-    println!("interior points among all {} selections: {mid}", run.history.len());
+    println!(
+        "interior points among all {} selections: {mid}",
+        run.history.len()
+    );
 
     println!("\nfirst 10 selections (log10 size, freq):");
     for r in run.history.iter().take(10) {

@@ -15,10 +15,10 @@ use alperf_al::metrics::paper_metrics;
 use alperf_al::runner::{run_al, AlConfig, AlRun};
 use alperf_al::strategy::VarianceReduction;
 use alperf_bench::{banner, load_datasets, write_series};
+use alperf_core::analysis::paper_kernel_bounds;
 use alperf_data::partition::Partition;
 use alperf_gp::kernel::ArdSquaredExponential;
 use alperf_gp::noise::NoiseFloor;
-use alperf_core::analysis::paper_kernel_bounds;
 use alperf_gp::optimize::GprConfig;
 use alperf_linalg::matrix::Matrix;
 use rayon::prelude::*;
@@ -48,7 +48,11 @@ fn problem() -> (Matrix, Vec<f64>, Vec<f64>) {
         flat.push(sizes[i].log10());
         flat.push(freqs[i]);
     }
-    (Matrix::from_vec(n, 2, flat).expect("matrix"), y, vec![1.0; n])
+    (
+        Matrix::from_vec(n, 2, flat).expect("matrix"),
+        y,
+        vec![1.0; n],
+    )
 }
 
 fn batch(x: &Matrix, y: &[f64], cost: &[f64], floor: NoiseFloor) -> Vec<AlRun> {

@@ -17,10 +17,10 @@ use alperf_al::runner::{run_al, AlConfig, AlRun};
 use alperf_al::strategy::{CostEfficiency, Strategy, VarianceReduction};
 use alperf_al::tradeoff;
 use alperf_bench::{banner, load_datasets, write_series};
+use alperf_core::analysis::paper_kernel_bounds;
 use alperf_data::partition::Partition;
 use alperf_gp::kernel::ArdSquaredExponential;
 use alperf_gp::noise::NoiseFloor;
-use alperf_core::analysis::paper_kernel_bounds;
 use alperf_gp::optimize::GprConfig;
 use alperf_linalg::matrix::Matrix;
 use rayon::prelude::*;
@@ -104,7 +104,9 @@ fn main() {
     // Fig. 8(a): error and uncertainty reduction per iteration.
     let (_, vr_amsd, vr_rmse) = paper_metrics(&vr);
     let (_, ce_amsd, ce_rmse) = paper_metrics(&ce);
-    let iters: Vec<f64> = (0..vr_rmse.len().min(ce_rmse.len())).map(|i| i as f64).collect();
+    let iters: Vec<f64> = (0..vr_rmse.len().min(ce_rmse.len()))
+        .map(|i| i as f64)
+        .collect();
     let k = iters.len();
     write_series(
         "fig8a_error_uncertainty",

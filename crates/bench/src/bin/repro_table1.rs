@@ -14,7 +14,10 @@ fn main() {
     let perf = summarize(&data.performance);
     let power = summarize(&data.power);
 
-    println!("{:<28} {:<28} {:<28}", "", "Dataset: Performance", "Dataset: Power");
+    println!(
+        "{:<28} {:<28} {:<28}",
+        "", "Dataset: Performance", "Dataset: Power"
+    );
     println!("{:<28} {:<28} {:<28}", "# Jobs", perf.n_jobs, power.n_jobs);
     let range = |s: &alperf_data::summary::DataSetSummary, name: &str| -> String {
         s.responses
@@ -60,7 +63,10 @@ fn main() {
             ),
         }
     }
-    println!("Max repeats per setting: {} (paper: up to 3)", perf.max_repeats);
+    println!(
+        "Max repeats per setting: {} (paper: up to 3)",
+        perf.max_repeats
+    );
 
     banner("paper reference values");
     println!("# Jobs:            3246 (Performance), 640 (Power)");

@@ -10,11 +10,7 @@
 /// chart of the given size. Series are drawn with distinct glyphs
 /// (`*`, `o`, `+`, `x`, ...); later series overwrite earlier ones where
 /// they collide. NaN/infinite points are skipped.
-pub fn ascii_chart(
-    series: &[(&str, &[f64], &[f64])],
-    width: usize,
-    height: usize,
-) -> String {
+pub fn ascii_chart(series: &[(&str, &[f64], &[f64])], width: usize, height: usize) -> String {
     const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
     let width = width.max(16);
     let height = height.max(6);

@@ -33,10 +33,7 @@ pub struct QueueStats {
 /// Compute queue statistics for a batch.
 pub fn queue_stats(records: &[JobRecord], machine: &MachineSpec) -> QueueStats {
     let waits: Vec<f64> = records.iter().map(|r| r.wait_time()).collect();
-    let makespan = records
-        .iter()
-        .map(|r| r.end_time())
-        .fold(0.0f64, f64::max);
+    let makespan = records.iter().map(|r| r.end_time()).fold(0.0f64, f64::max);
     let busy: f64 = records.iter().map(|r| r.runtime * r.nodes as f64).sum();
     let capacity = machine.nodes as f64 * makespan;
     QueueStats {
@@ -96,7 +93,11 @@ mod tests {
             start_time: start,
             runtime,
             nodes,
-            energy: if runtime > 5.0 { Some(runtime * 200.0) } else { None },
+            energy: if runtime > 5.0 {
+                Some(runtime * 200.0)
+            } else {
+                None
+            },
             memory_per_node: 2e9,
             power_samples: runtime as usize,
         }

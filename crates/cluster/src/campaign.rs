@@ -136,14 +136,14 @@ impl Campaign {
     }
 }
 
-fn push_variables(
-    data: &mut DataSet,
-    records: &[&JobRecord],
-) -> Result<(), DataSetError> {
+fn push_variables(data: &mut DataSet, records: &[&JobRecord]) -> Result<(), DataSetError> {
     let ops: Vec<&str> = records.iter().map(|r| r.request.op.name()).collect();
     data.add_categorical_variable(COL_OPERATOR, &ops)?;
     data.add_numeric_variable(COL_SIZE, records.iter().map(|r| r.request.size).collect())?;
-    data.add_numeric_variable(COL_NP, records.iter().map(|r| r.request.np as f64).collect())?;
+    data.add_numeric_variable(
+        COL_NP,
+        records.iter().map(|r| r.request.np as f64).collect(),
+    )?;
     data.add_numeric_variable(COL_FREQ, records.iter().map(|r| r.request.freq).collect())?;
     Ok(())
 }
@@ -204,7 +204,10 @@ mod tests {
         let with_energy = out.records.iter().filter(|r| r.energy.is_some()).count();
         assert_eq!(out.power.n_rows(), with_energy);
         assert!(with_energy > 0, "no jobs survived the power filter");
-        assert!(with_energy < out.records.len(), "power filter dropped nothing");
+        assert!(
+            with_energy < out.records.len(),
+            "power filter dropped nothing"
+        );
         assert!(out.makespan > 0.0);
     }
 

@@ -9,7 +9,7 @@
 //! simulation is deterministic despite the concurrency.
 
 use crate::job::JobRequest;
-use crate::power::{PowerSampler, PowerSample};
+use crate::power::{PowerSample, PowerSampler};
 use alperf_hpgmg::model::PerfModel;
 use crossbeam::channel;
 use parking_lot::Mutex;
@@ -74,11 +74,17 @@ pub fn measure_one(
     campaign_seed: u64,
 ) -> Measurement {
     let mut rng = StdRng::seed_from_u64(request.seed(campaign_seed));
-    let runtime = model.sample_runtime(request.op, request.size, request.np, request.freq, &mut rng);
+    let runtime =
+        model.sample_runtime(request.op, request.size, request.np, request.freq, &mut rng);
     let memory_per_node = model.sample_memory_per_node(request.size, request.np, &mut rng);
     let watts = model.power_mean(request.np, request.freq);
     let trace = sampler.sample_trace(runtime, watts, &mut rng);
-    Measurement { idx, runtime, memory_per_node, trace }
+    Measurement {
+        idx,
+        runtime,
+        memory_per_node,
+        trace,
+    }
 }
 
 #[cfg(test)]

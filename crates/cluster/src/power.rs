@@ -172,13 +172,19 @@ mod tests {
     fn integrate_returns_none_below_threshold() {
         let s = PowerSampler::default();
         let sparse: Vec<PowerSample> = (0..5)
-            .map(|i| PowerSample { t: i as f64 * 100.0, watts: 100.0 })
+            .map(|i| PowerSample {
+                t: i as f64 * 100.0,
+                watts: 100.0,
+            })
             .collect();
         // 600 s job with 5 samples: rate far below 10/min.
         assert_eq!(s.integrate(600.0, &sparse), None);
         // A dense 12-sample trace on a 60 s job passes.
         let dense: Vec<PowerSample> = (0..12)
-            .map(|i| PowerSample { t: i as f64 * 5.0, watts: 100.0 })
+            .map(|i| PowerSample {
+                t: i as f64 * 5.0,
+                watts: 100.0,
+            })
             .collect();
         assert!(s.integrate(60.0, &dense).is_some());
     }

@@ -78,8 +78,15 @@ pub fn schedule_batch(model: &PerfModel, requests: &[JobRequest], runtimes: &[f6
         .enumerate()
         .map(|(idx, (r, &rt))| {
             let nodes = model.machine.nodes_used(r.np);
-            assert!(nodes <= total_nodes, "job {idx} needs {nodes} nodes > cluster {total_nodes}");
-            Queued { idx, nodes, runtime: rt }
+            assert!(
+                nodes <= total_nodes,
+                "job {idx} needs {nodes} nodes > cluster {total_nodes}"
+            );
+            Queued {
+                idx,
+                nodes,
+                runtime: rt,
+            }
         })
         .collect();
     let mut placements = vec![(0.0, 0usize); requests.len()];
@@ -140,7 +147,10 @@ pub fn schedule_batch(model: &PerfModel, requests: &[JobRequest], runtimes: &[f6
             }
         }
     }
-    Schedule { placements, makespan }
+    Schedule {
+        placements,
+        makespan,
+    }
 }
 
 /// Earliest time at which `need` nodes can be free, given current free
@@ -165,11 +175,7 @@ fn earliest_start(now: f64, free: usize, need: usize, running: &BinaryHeap<Compl
 
 /// Convenience: build full job records by scheduling a batch and attaching
 /// measured runtimes (energy filled in later by the campaign layer).
-pub fn run_batch(
-    model: &PerfModel,
-    requests: &[JobRequest],
-    runtimes: &[f64],
-) -> Vec<JobRecord> {
+pub fn run_batch(model: &PerfModel, requests: &[JobRequest], runtimes: &[f64]) -> Vec<JobRecord> {
     let sched = schedule_batch(model, requests, runtimes);
     requests
         .iter()

@@ -164,10 +164,7 @@ mod tests {
     fn focus_slice_matches_fig6_scale() {
         let model = PerfModel::calibrated();
         let reqs = build_requests(&WorkloadSpec::default(), &model);
-        let focus = reqs
-            .iter()
-            .filter(|r| is_focus_slice(r.op, r.np))
-            .count();
+        let focus = reqs.iter().filter(|r| is_focus_slice(r.op, r.np)).count();
         // Paper's Fig. 6 subset: 251 jobs.
         assert!((220..=260).contains(&focus), "focus slice has {focus} jobs");
     }
@@ -180,9 +177,9 @@ mod tests {
             .iter()
             .all(|r| model.would_run(r.op, r.size, r.np, r.freq)));
         // In particular: no serial poisson2 at the max size.
-        assert!(!reqs.iter().any(|r| r.op == OperatorKind::Poisson2
-            && r.np == 1
-            && r.size > 1e9));
+        assert!(!reqs
+            .iter()
+            .any(|r| r.op == OperatorKind::Poisson2 && r.np == 1 && r.size > 1e9));
     }
 
     #[test]

@@ -142,12 +142,15 @@ impl PerformanceAnalysis {
             raw_y.to_vec()
         };
         // Cost: raw runtime x cores.
-        let runtime = self.data.response(&self.config.runtime_column).or_else(|_| {
-            // Runtime may be a variable in exotic setups.
-            self.data
-                .variable(&self.config.runtime_column)
-                .map(|v| v.values.as_slice())
-        })?;
+        let runtime = self
+            .data
+            .response(&self.config.runtime_column)
+            .or_else(|_| {
+                // Runtime may be a variable in exotic setups.
+                self.data
+                    .variable(&self.config.runtime_column)
+                    .map(|v| v.values.as_slice())
+            })?;
         let cost: Vec<f64> = match &self.config.np_column {
             Some(npc) => {
                 let np = &self.data.variable(npc)?.values;
@@ -189,7 +192,9 @@ impl PerformanceAnalysis {
             seed: self.config.seed,
             ..AlConfig::new(self.gpr_config())
         };
-        Ok(run_al(&prob.x, &prob.y, &prob.cost, partition, strategy, &al)?)
+        Ok(run_al(
+            &prob.x, &prob.y, &prob.cost, partition, strategy, &al,
+        )?)
     }
 
     /// Batch evaluation: `n_partitions` random paper-style partitions
@@ -217,8 +222,15 @@ impl PerformanceAnalysis {
                     ..AlConfig::new(self.gpr_config())
                 };
                 let mut strategy = make_strategy();
-                run_al(&prob.x, &prob.y, &prob.cost, &partition, strategy.as_mut(), &al)
-                    .map_err(AnalysisError::from)
+                run_al(
+                    &prob.x,
+                    &prob.y,
+                    &prob.cost,
+                    &partition,
+                    strategy.as_mut(),
+                    &al,
+                )
+                .map_err(AnalysisError::from)
             })
             .collect()
     }
@@ -295,7 +307,8 @@ mod tests {
                 }
             }
         }
-        d.add_numeric_variable("Global Problem Size", size_col).unwrap();
+        d.add_numeric_variable("Global Problem Size", size_col)
+            .unwrap();
         d.add_numeric_variable("NP", np_col).unwrap();
         d.add_response("Runtime", rt_col).unwrap();
         d
@@ -342,7 +355,8 @@ mod tests {
     #[test]
     fn log_of_nonpositive_response_rejected() {
         let mut d = DataSet::new();
-        d.add_numeric_variable("Global Problem Size", vec![1.0, 2.0]).unwrap();
+        d.add_numeric_variable("Global Problem Size", vec![1.0, 2.0])
+            .unwrap();
         d.add_numeric_variable("NP", vec![1.0, 1.0]).unwrap();
         d.add_response("Runtime", vec![1.0, -1.0]).unwrap();
         let pa = PerformanceAnalysis::new(d, config());
@@ -363,9 +377,7 @@ mod tests {
     #[test]
     fn batch_runs_are_distinct_realizations() {
         let pa = PerformanceAnalysis::new(dataset(), config());
-        let runs = pa
-            .run_batch(4, || Box::new(CostEfficiency))
-            .unwrap();
+        let runs = pa.run_batch(4, || Box::new(CostEfficiency)).unwrap();
         assert_eq!(runs.len(), 4);
         // Different partitions: first selected rows should differ somewhere.
         let firsts: std::collections::BTreeSet<usize> =

@@ -115,8 +115,8 @@ impl OnlineAl {
                 .iter()
                 .map(|&i| model.predict_one(self.candidates.row(i)))
                 .collect::<Result<_, _>>()?;
-            let amsd = predictions.iter().map(|p| p.std).sum::<f64>()
-                / predictions.len().max(1) as f64;
+            let amsd =
+                predictions.iter().map(|p| p.std).sum::<f64>() / predictions.len().max(1) as f64;
             let ctx = SelectionContext {
                 model: &model,
                 x_all: &self.candidates,
@@ -155,7 +155,12 @@ mod tests {
     use alperf_gp::noise::NoiseFloor;
 
     fn grid(n: usize) -> Matrix {
-        Matrix::from_vec(n, 1, (0..n).map(|i| i as f64 / (n - 1) as f64 * 6.0).collect()).unwrap()
+        Matrix::from_vec(
+            n,
+            1,
+            (0..n).map(|i| i as f64 / (n - 1) as f64 * 6.0).collect(),
+        )
+        .unwrap()
     }
 
     fn gpr() -> GprConfig {
@@ -208,7 +213,9 @@ mod tests {
     fn cumulative_cost_accumulates_oracle_costs() {
         let driver = OnlineAl::new(grid(8), gpr());
         let mut oracle = |x: &[f64]| (x[0], 2.5);
-        let recs = driver.run(&mut oracle, &mut VarianceReduction, 0, 5).unwrap();
+        let recs = driver
+            .run(&mut oracle, &mut VarianceReduction, 0, 5)
+            .unwrap();
         assert!((recs.last().unwrap().cumulative_cost - 12.5).abs() < 1e-12);
     }
 

@@ -63,7 +63,11 @@ impl ParallelCampaign<'_> {
     ///
     /// # Errors
     /// Propagates GPR fitting errors; rejects inconsistent input lengths.
-    pub fn run(&self, partition: &Partition, rounds: usize) -> Result<Vec<RoundRecord>, AnalysisError> {
+    pub fn run(
+        &self,
+        partition: &Partition,
+        rounds: usize,
+    ) -> Result<Vec<RoundRecord>, AnalysisError> {
         let n = self.x_all.nrows();
         if self.y_all.len() != n || self.requests.len() != n || self.runtimes.len() != n {
             return Err(AnalysisError::Data(

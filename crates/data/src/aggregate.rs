@@ -95,8 +95,10 @@ mod tests {
 
     fn with_repeats() -> DataSet {
         let mut d = DataSet::new();
-        d.add_categorical_variable("op", &["a", "a", "a", "b", "b"]).unwrap();
-        d.add_numeric_variable("size", vec![10.0, 10.0, 20.0, 10.0, 10.0]).unwrap();
+        d.add_categorical_variable("op", &["a", "a", "a", "b", "b"])
+            .unwrap();
+        d.add_numeric_variable("size", vec![10.0, 10.0, 20.0, 10.0, 10.0])
+            .unwrap();
         d.add_response("rt", vec![1.0, 3.0, 5.0, 7.0, 9.0]).unwrap();
         d
     }

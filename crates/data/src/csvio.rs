@@ -130,7 +130,8 @@ pub fn read_file(path: &std::path::Path, response_names: &[&str]) -> std::io::Re
         text.push_str(&line?);
         text.push('\n');
     }
-    from_csv(&text, response_names).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    from_csv(&text, response_names)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]
@@ -139,9 +140,11 @@ mod tests {
 
     fn sample() -> DataSet {
         let mut d = DataSet::new();
-        d.add_categorical_variable("op", &["p1", "p2", "p1"]).unwrap();
+        d.add_categorical_variable("op", &["p1", "p2", "p1"])
+            .unwrap();
         d.add_numeric_variable("size", vec![1e3, 1e6, 1e9]).unwrap();
-        d.add_response("runtime", vec![0.005, 1.25, 458.436]).unwrap();
+        d.add_response("runtime", vec![0.005, 1.25, 458.436])
+            .unwrap();
         d
     }
 
@@ -152,9 +155,18 @@ mod tests {
         let back = from_csv(&csv, &["runtime"]).unwrap();
         assert_eq!(back.n_rows(), 3);
         assert_eq!(back.variable_names(), vec!["op", "size"]);
-        assert_eq!(back.response("runtime").unwrap(), d.response("runtime").unwrap());
-        assert_eq!(back.variable("op").unwrap().values, d.variable("op").unwrap().values);
-        assert_eq!(back.variable("size").unwrap().values, d.variable("size").unwrap().values);
+        assert_eq!(
+            back.response("runtime").unwrap(),
+            d.response("runtime").unwrap()
+        );
+        assert_eq!(
+            back.variable("op").unwrap().values,
+            d.variable("op").unwrap().values
+        );
+        assert_eq!(
+            back.variable("size").unwrap().values,
+            d.variable("size").unwrap().values
+        );
     }
 
     #[test]
@@ -167,8 +179,10 @@ mod tests {
     #[test]
     fn exact_float_round_trip() {
         let mut d = DataSet::new();
-        d.add_numeric_variable("x", vec![std::f64::consts::PI, 1e-300, -0.0]).unwrap();
-        d.add_response("y", vec![1.0 / 3.0, f64::MAX, 5e-324]).unwrap();
+        d.add_numeric_variable("x", vec![std::f64::consts::PI, 1e-300, -0.0])
+            .unwrap();
+        d.add_response("y", vec![1.0 / 3.0, f64::MAX, 5e-324])
+            .unwrap();
         let back = from_csv(&to_csv(&d).unwrap(), &["y"]).unwrap();
         for (a, b) in d
             .response("y")

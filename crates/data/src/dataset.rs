@@ -88,7 +88,11 @@ impl DataSet {
     ///
     /// # Errors
     /// Length mismatch against existing columns, or duplicate name.
-    pub fn add_numeric_variable(&mut self, name: &str, values: Vec<f64>) -> Result<(), DataSetError> {
+    pub fn add_numeric_variable(
+        &mut self,
+        name: &str,
+        values: Vec<f64>,
+    ) -> Result<(), DataSetError> {
         self.check_new_column(name, values.len())?;
         self.nrows = values.len();
         self.variables.push(Variable {
@@ -285,9 +289,10 @@ impl DataSet {
         let mut groups: Vec<(Vec<f64>, Vec<usize>)> = Vec::new();
         for i in 0..self.nrows {
             let key = self.point(vars, i)?;
-            match groups.iter_mut().find(|(k, _)| {
-                k.iter().zip(&key).all(|(a, b)| (a - b).abs() < 1e-9)
-            }) {
+            match groups
+                .iter_mut()
+                .find(|(k, _)| k.iter().zip(&key).all(|(a, b)| (a - b).abs() < 1e-9))
+            {
                 Some((_, rows)) => rows.push(i),
                 None => groups.push((key, vec![i])),
             }
@@ -296,11 +301,7 @@ impl DataSet {
     }
 
     /// Apply a function to a response column in place (e.g. log transform).
-    pub fn map_response(
-        &mut self,
-        name: &str,
-        f: impl Fn(f64) -> f64,
-    ) -> Result<(), DataSetError> {
+    pub fn map_response(&mut self, name: &str, f: impl Fn(f64) -> f64) -> Result<(), DataSetError> {
         let col = self
             .responses
             .get_mut(name)
@@ -312,11 +313,7 @@ impl DataSet {
     }
 
     /// Apply a function to a variable column in place.
-    pub fn map_variable(
-        &mut self,
-        name: &str,
-        f: impl Fn(f64) -> f64,
-    ) -> Result<(), DataSetError> {
+    pub fn map_variable(&mut self, name: &str, f: impl Fn(f64) -> f64) -> Result<(), DataSetError> {
         let var = self
             .variables
             .iter_mut()
@@ -374,9 +371,12 @@ mod tests {
 
     fn sample() -> DataSet {
         let mut d = DataSet::new();
-        d.add_categorical_variable("op", &["p1", "p1", "p2", "p2", "p1"]).unwrap();
-        d.add_numeric_variable("size", vec![10.0, 20.0, 10.0, 20.0, 10.0]).unwrap();
-        d.add_response("runtime", vec![1.0, 2.0, 3.0, 4.0, 1.5]).unwrap();
+        d.add_categorical_variable("op", &["p1", "p1", "p2", "p2", "p1"])
+            .unwrap();
+        d.add_numeric_variable("size", vec![10.0, 20.0, 10.0, 20.0, 10.0])
+            .unwrap();
+        d.add_response("runtime", vec![1.0, 2.0, 3.0, 4.0, 1.5])
+            .unwrap();
         d
     }
 

@@ -89,7 +89,10 @@ impl Grid {
     /// baseline uses it.
     pub fn fractional(&self, stride: usize) -> Vec<Vec<f64>> {
         assert!(stride > 0, "stride must be positive");
-        (0..self.n_cells()).step_by(stride).map(|i| self.cell(i)).collect()
+        (0..self.n_cells())
+            .step_by(stride)
+            .map(|i| self.cell(i))
+            .collect()
     }
 }
 

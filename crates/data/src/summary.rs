@@ -111,8 +111,10 @@ mod tests {
 
     fn sample() -> DataSet {
         let mut d = DataSet::new();
-        d.add_categorical_variable("op", &["p1", "p2", "p1", "p1"]).unwrap();
-        d.add_numeric_variable("size", vec![10.0, 10.0, 20.0, 10.0]).unwrap();
+        d.add_categorical_variable("op", &["p1", "p2", "p1", "p1"])
+            .unwrap();
+        d.add_numeric_variable("size", vec![10.0, 10.0, 20.0, 10.0])
+            .unwrap();
         d.add_response("runtime", vec![1.0, 4.0, 2.0, 1.1]).unwrap();
         d
     }
@@ -129,7 +131,10 @@ mod tests {
     #[test]
     fn categorical_levels_reported() {
         let s = summarize(&sample());
-        assert_eq!(s.variables[0].levels.as_ref().unwrap(), &vec!["p1".to_string(), "p2".to_string()]);
+        assert_eq!(
+            s.variables[0].levels.as_ref().unwrap(),
+            &vec!["p1".to_string(), "p2".to_string()]
+        );
         assert!(s.variables[1].levels.is_none());
     }
 

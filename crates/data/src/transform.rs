@@ -93,7 +93,8 @@ mod tests {
 
     fn tiny() -> DataSet {
         let mut d = DataSet::new();
-        d.add_numeric_variable("size", vec![10.0, 100.0, 1000.0]).unwrap();
+        d.add_numeric_variable("size", vec![10.0, 100.0, 1000.0])
+            .unwrap();
         d.add_response("runtime", vec![1.0, 10.0, 100.0]).unwrap();
         d
     }

@@ -58,7 +58,9 @@ pub fn assemble_covariance(kernel: &dyn Kernel, x: &Matrix) -> Matrix {
 
 /// Cross-covariance vector `k_* = [k(x_*, x_i)]_i` (Eq. 9).
 pub fn covariance_vector(kernel: &dyn Kernel, x: &Matrix, xstar: &[f64]) -> Vec<f64> {
-    (0..x.nrows()).map(|i| kernel.eval(xstar, x.row(i))).collect()
+    (0..x.nrows())
+        .map(|i| kernel.eval(xstar, x.row(i)))
+        .collect()
 }
 
 /// Result of a marginal-likelihood evaluation that is reused by the model:
@@ -225,7 +227,8 @@ mod tests {
         let sn = 0.3;
         let k = SquaredExponential::new(1.0, sf);
         let var = sf * sf + sn * sn;
-        let expect = -0.5 * y[0] * y[0] / var - 0.5 * var.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln();
+        let expect =
+            -0.5 * y[0] * y[0] / var - 0.5 * var.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln();
         let got = lml_value(&k, sn, &x, &y).unwrap();
         assert!((got - expect).abs() < 1e-10, "{got} vs {expect}");
     }

@@ -61,7 +61,10 @@ pub fn loo_cv(
     for i in 0..n {
         let kii = kinv[(i, i)];
         if kii <= 0.0 {
-            return Err(LinalgError::NotPositiveDefinite { pivot: i, value: kii });
+            return Err(LinalgError::NotPositiveDefinite {
+                pivot: i,
+                value: kii,
+            });
         }
         let s2 = 1.0 / kii;
         let mu = y[i] - alpha[i] * s2;

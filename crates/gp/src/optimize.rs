@@ -159,13 +159,21 @@ fn ascend(
     let eval_value = |theta: &[f64]| -> Option<f64> {
         let mut kern = kernel_template.clone_box();
         kern.set_params(&theta[..nk]);
-        let noise = if optimize_noise { theta[nk].exp() } else { fixed_noise };
+        let noise = if optimize_noise {
+            theta[nk].exp()
+        } else {
+            fixed_noise
+        };
         lml::lml_value(kern.as_ref(), noise, x, y).ok()
     };
     let eval_grad = |theta: &[f64]| -> Option<(f64, Vec<f64>)> {
         let mut kern = kernel_template.clone_box();
         kern.set_params(&theta[..nk]);
-        let noise = if optimize_noise { theta[nk].exp() } else { fixed_noise };
+        let noise = if optimize_noise {
+            theta[nk].exp()
+        } else {
+            fixed_noise
+        };
         lml::lml_and_grad(kern.as_ref(), noise, x, y, optimize_noise).ok()
     };
 
@@ -424,7 +432,11 @@ mod tests {
         let cfg = GprConfig::new(Box::new(SquaredExponential::unit()))
             .with_noise_floor(NoiseFloor::Fixed(0.1));
         let (model, _) = fit_gpr(&x, &y, &cfg).unwrap();
-        assert!(model.noise_std() >= 0.1 - 1e-12, "sigma_n = {}", model.noise_std());
+        assert!(
+            model.noise_std() >= 0.1 - 1e-12,
+            "sigma_n = {}",
+            model.noise_std()
+        );
     }
 
     #[test]

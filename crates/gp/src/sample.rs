@@ -11,13 +11,13 @@
 //!   posterior and queries its argmax/argmin;
 //! * visual reproduction of GPR figures benefits from sample paths.
 //!
-//! `cov(a, b | data) = k(a, b) - k_a^T K_y^{-1} k_b`, assembled column-wise
-//! through the training Cholesky factor.
+//! `cov(a, b | data) = k(a, b) - k_a^T K_y^{-1} k_b`, assembled as
+//! `K(X_*, X_*) - Z^T Z` with `Z = L^{-1} K(X, X_*)` from one multi-RHS
+//! forward solve through the training Cholesky factor.
 
 use crate::model::{GpError, Gpr};
 use alperf_linalg::cholesky::Cholesky;
 use alperf_linalg::matrix::Matrix;
-use alperf_linalg::vector::dot;
 use rand::Rng;
 
 impl Gpr {
@@ -35,23 +35,21 @@ impl Gpr {
                 self.dim()
             )));
         }
-        // Z[:, j] = L^{-1} k_{x_j}; cov_ij = k(x_i, x_j) - Z_i . Z_j.
+        // Z = L^{-1} K(X, X_*) via one multi-RHS solve;
+        // cov = (K(X_*, X_*) - Z^T Z) * scale, both terms blocked matmuls.
         let kernel = self.kernel();
         let scale = self.standardizer().std * self.standardizer().std;
-        let mut z_cols: Vec<Vec<f64>> = Vec::with_capacity(m);
-        for j in 0..m {
-            let kv = crate::lml::covariance_vector(kernel, self.x_train(), xs.row(j));
-            z_cols.push(self.chol_forward(&kv)?);
+        if m == 0 {
+            return Ok(Matrix::zeros(0, 0));
         }
-        let mut cov = Matrix::zeros(m, m);
-        for i in 0..m {
-            for j in 0..=i {
-                let prior = kernel.eval(xs.row(i), xs.row(j));
-                let v = (prior - dot(&z_cols[i], &z_cols[j])) * scale;
-                cov[(i, j)] = v;
-                cov[(j, i)] = v;
-            }
+        let kxt = kernel.cross_matrix(xs, self.x_train());
+        let zt = self.chol_forward_rhs_rows(&kxt)?;
+        let ztz = zt.matmul(&zt.transpose())?;
+        let mut cov = kernel.cross_matrix(xs, xs);
+        for (c, &s) in cov.as_mut_slice().iter_mut().zip(ztz.as_slice()) {
+            *c = (*c - s) * scale;
         }
+        cov.symmetrize();
         Ok(cov)
     }
 
@@ -70,17 +68,17 @@ impl Gpr {
         rng: &mut impl Rng,
     ) -> Result<Vec<Vec<f64>>, GpError> {
         let m = xs.nrows();
-        let means: Vec<f64> = (0..m)
-            .map(|i| self.predict_one(xs.row(i)).map(|p| p.mean))
-            .collect::<Result<_, _>>()?;
+        let means: Vec<f64> = self
+            .predict_batch(xs)?
+            .into_iter()
+            .map(|p| p.mean)
+            .collect();
         let cov = self.posterior_covariance(xs)?;
         let chol = Cholesky::decompose_jittered(&cov, 1e-10, 12).map_err(GpError::Linalg)?;
         let l = chol.factor();
         let mut out = Vec::with_capacity(n_samples);
         for _ in 0..n_samples {
-            let z: Vec<f64> = (0..m)
-                .map(|_| alperf_linalg_normal(rng))
-                .collect();
+            let z: Vec<f64> = (0..m).map(|_| alperf_linalg_normal(rng)).collect();
             // sample = mean + L z.
             let mut s = means.clone();
             for i in 0..m {
@@ -174,10 +172,13 @@ mod tests {
         for j in 0..2 {
             let vals: Vec<f64> = samples.iter().map(|s| s[j]).collect();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
             let p = gpr.predict_one(q.row(j)).unwrap();
-            assert!((mean - p.mean).abs() < 0.05, "mean at {j}: {mean} vs {}", p.mean);
+            assert!(
+                (mean - p.mean).abs() < 0.05,
+                "mean at {j}: {mean} vs {}",
+                p.mean
+            );
             assert!(
                 (var - p.std * p.std).abs() < 0.05 * (p.std * p.std).max(0.01),
                 "var at {j}: {var} vs {}",

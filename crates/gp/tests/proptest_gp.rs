@@ -132,6 +132,53 @@ proptest! {
         prop_assert!(p.std.is_finite() && p.std >= 0.0);
     }
 
+    /// The batched prediction engine agrees with the scalar per-point path
+    /// to 1e-10 relative, for every kernel (specialized SE/ARD cross paths
+    /// and the generic pointwise fallback), random dimensions, and pool
+    /// sizes including the empty pool and a single candidate.
+    #[test]
+    fn predict_batch_matches_predict_one(
+        train in points_strategy(9, 2),
+        pool in prop::collection::vec(-6.0..6.0f64, 0..40),
+        noise in 0.02..0.5f64,
+    ) {
+        let n = 9;
+        let x = Matrix::from_vec(n, 2, train).unwrap();
+        let y: Vec<f64> = (0..n).map(|i| (x[(i, 0)] * 0.6).sin() + 0.3 * x[(i, 1)]).collect();
+        let m = pool.len() / 2;
+        let xs = Matrix::from_vec(m, 2, pool[..m * 2].to_vec()).unwrap();
+        for k in kernels() {
+            let gpr = Gpr::fit(x.clone(), &y, k, noise, true).unwrap();
+            let batch = gpr.predict_batch(&xs).unwrap();
+            prop_assert_eq!(batch.len(), m);
+            for (i, p) in batch.iter().enumerate() {
+                let q = gpr.predict_one(xs.row(i)).unwrap();
+                prop_assert!(
+                    (p.mean - q.mean).abs() <= 1e-10 * (1.0 + q.mean.abs()),
+                    "mean {i}: batch {} vs one {}", p.mean, q.mean
+                );
+                prop_assert!(
+                    (p.std - q.std).abs() <= 1e-10 * (1.0 + q.std.abs()),
+                    "std {i}: batch {} vs one {}", p.std, q.std
+                );
+            }
+        }
+    }
+
+    /// Single-candidate pools exercise the degenerate 1-RHS solve path.
+    #[test]
+    fn predict_batch_single_candidate(q0 in -6.0..6.0f64, q1 in -6.0..6.0f64) {
+        let xs: Vec<f64> = (0..6).flat_map(|i| [i as f64 * 0.8, (i as f64).cos()]).collect();
+        let y: Vec<f64> = (0..6).map(|i| (i as f64 * 0.4).sin()).collect();
+        let x = Matrix::from_vec(6, 2, xs).unwrap();
+        let gpr = Gpr::fit(x, &y, Box::new(SquaredExponential::new(0.9, 1.1)), 0.05, true).unwrap();
+        let single = Matrix::from_vec(1, 2, vec![q0, q1]).unwrap();
+        let batch = gpr.predict_batch(&single).unwrap();
+        let one = gpr.predict_one(&[q0, q1]).unwrap();
+        prop_assert!((batch[0].mean - one.mean).abs() <= 1e-10 * (1.0 + one.mean.abs()));
+        prop_assert!((batch[0].std - one.std).abs() <= 1e-10 * (1.0 + one.std.abs()));
+    }
+
     /// LML is invariant to the order of training points.
     #[test]
     fn lml_is_permutation_invariant(perm_seed in 0u64..1000) {

@@ -59,7 +59,10 @@ pub struct Hierarchy {
 impl Hierarchy {
     /// Build a hierarchy for refinement `n` (power of two `>= 2`).
     pub fn new(kind: OperatorKind, n: usize) -> Self {
-        assert!(n >= 2 && n.is_power_of_two(), "refinement must be a power of two >= 2");
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "refinement must be a power of two >= 2"
+        );
         let mut levels = Vec::new();
         let mut m = n;
         while m >= 2 {

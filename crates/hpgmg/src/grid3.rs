@@ -29,7 +29,10 @@ impl Grid3 {
     /// Panics unless `n >= 2` and `n` is a power of two (multigrid needs
     /// clean coarsening).
     pub fn zeros(n: usize) -> Self {
-        assert!(n >= 2 && n.is_power_of_two(), "refinement must be a power of two >= 2, got {n}");
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "refinement must be a power of two >= 2, got {n}"
+        );
         let side = n + 1;
         Grid3 {
             n,
@@ -243,8 +246,7 @@ impl Grid3 {
         for k in 0..s {
             for j in 0..s {
                 for i in 0..s {
-                    let on_boundary =
-                        i == 0 || j == 0 || k == 0 || i == n || j == n || k == n;
+                    let on_boundary = i == 0 || j == 0 || k == 0 || i == n || j == n || k == n;
                     if on_boundary && self.get(i, j, k) != 0.0 {
                         return false;
                     }

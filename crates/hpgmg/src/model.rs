@@ -224,8 +224,7 @@ impl PerfModel {
         let active = (np.min(self.machine.total_cores())) as f64;
         self.machine.nodes as f64 * self.machine.idle_power_w
             + active
-                * (self.machine.core_power_base_w
-                    + self.machine.core_power_cubic_w * freq.powi(3))
+                * (self.machine.core_power_base_w + self.machine.core_power_cubic_w * freq.powi(3))
     }
 
     /// Deterministic mean energy in Joules: cluster power x runtime.

@@ -159,11 +159,13 @@ fn sweep_slabs(out: &mut Grid3, body: impl Fn(usize, &mut [f64]) + Sync) {
     let interior = out.n_interior();
     let data = out.as_mut_slice();
     if interior >= PAR_MIN_POINTS {
-        data.par_chunks_mut(plane).enumerate().for_each(|(k, slab)| {
-            if k != 0 && k != n {
-                body(k, slab);
-            }
-        });
+        data.par_chunks_mut(plane)
+            .enumerate()
+            .for_each(|(k, slab)| {
+                if k != 0 && k != n {
+                    body(k, slab);
+                }
+            });
     } else {
         for (k, slab) in data.chunks_mut(plane).enumerate() {
             if k != 0 && k != n {
@@ -237,7 +239,12 @@ pub fn eigen_upper_bound(kind: OperatorKind, n: usize) -> f64 {
     // The diagonal is maximized where the coefficient field is largest; for
     // a(x) = 1 + x/2 that is x = 1. Sample a few interior points to be safe.
     let mut max_diag = 0.0f64;
-    for &(i, j, k) in &[(1, 1, 1), (n - 1, n - 1, n - 1), (n / 2, n / 2, n / 2), (n - 1, 1, 1)] {
+    for &(i, j, k) in &[
+        (1, 1, 1),
+        (n - 1, n - 1, n - 1),
+        (n / 2, n / 2, n / 2),
+        (n - 1, 1, 1),
+    ] {
         max_diag = max_diag.max(stencil_at(kind, n, i, j, k).diag);
     }
     2.0 * max_diag
@@ -377,10 +384,12 @@ mod tests {
     #[test]
     fn flops_ordering_matches_stencil_complexity() {
         assert!(
-            OperatorKind::Poisson2.flops_per_point() > OperatorKind::Poisson2Affine.flops_per_point()
+            OperatorKind::Poisson2.flops_per_point()
+                > OperatorKind::Poisson2Affine.flops_per_point()
         );
         assert!(
-            OperatorKind::Poisson2Affine.flops_per_point() > OperatorKind::Poisson1.flops_per_point()
+            OperatorKind::Poisson2Affine.flops_per_point()
+                > OperatorKind::Poisson1.flops_per_point()
         );
     }
 

@@ -17,13 +17,7 @@ const PAR_MIN_POINTS: usize = 32 * 32 * 32;
 /// One damped-Jacobi sweep: `u <- u + omega D^{-1} (f - A u)`.
 ///
 /// Uses `scratch` for the residual; all three grids must share a refinement.
-pub fn jacobi_sweep(
-    kind: OperatorKind,
-    u: &mut Grid3,
-    f: &Grid3,
-    scratch: &mut Grid3,
-    omega: f64,
-) {
+pub fn jacobi_sweep(kind: OperatorKind, u: &mut Grid3, f: &Grid3, scratch: &mut Grid3, omega: f64) {
     operator::residual(kind, u, f, scratch);
     let n = u.n();
     let side = u.side();
@@ -44,7 +38,9 @@ pub fn jacobi_sweep(
         }
     };
     if interior >= PAR_MIN_POINTS {
-        data.par_chunks_mut(plane).enumerate().for_each(|(k, s)| body(k, s));
+        data.par_chunks_mut(plane)
+            .enumerate()
+            .for_each(|(k, s)| body(k, s));
     } else {
         for (k, s) in data.chunks_mut(plane).enumerate() {
             body(k, s);
@@ -74,11 +70,10 @@ pub fn chebyshev(
     degree: usize,
 ) {
     let n = u.n();
-    let lambda_max = 1.1 * operator::eigen_upper_bound(kind, n)
-        / {
-            let mid = (n / 2).max(1);
-            operator::stencil_at(kind, n, mid, mid, mid).diag
-        };
+    let lambda_max = 1.1 * operator::eigen_upper_bound(kind, n) / {
+        let mid = (n / 2).max(1);
+        operator::stencil_at(kind, n, mid, mid, mid).diag
+    };
     let lambda_min = lambda_max / 30.0;
     let theta = 0.5 * (lambda_max + lambda_min);
     let delta = 0.5 * (lambda_max - lambda_min);
@@ -151,7 +146,9 @@ pub fn gauss_seidel_rb(kind: OperatorKind, u: &mut Grid3, f: &Grid3, scratch: &m
             }
         };
         if interior >= PAR_MIN_POINTS {
-            data.par_chunks_mut(plane).enumerate().for_each(|(k, s)| body(k, s));
+            data.par_chunks_mut(plane)
+                .enumerate()
+                .for_each(|(k, s)| body(k, s));
         } else {
             for (k, s) in data.chunks_mut(plane).enumerate() {
                 body(k, s);
@@ -180,7 +177,9 @@ fn precondition_in_place(kind: OperatorKind, g: &mut Grid3) {
         }
     };
     if interior >= PAR_MIN_POINTS {
-        data.par_chunks_mut(plane).enumerate().for_each(|(k, s)| body(k, s));
+        data.par_chunks_mut(plane)
+            .enumerate()
+            .for_each(|(k, s)| body(k, s));
     } else {
         for (k, s) in data.chunks_mut(plane).enumerate() {
             body(k, s);
@@ -205,9 +204,7 @@ mod tests {
         let n = 16;
         let mut u = Grid3::zeros(n);
         // High-frequency initial error — what smoothers are good at.
-        u.fill_interior(|x, y, z| {
-            ((13.0 * x).sin() + (17.0 * y).cos() + (19.0 * z).sin()) * 0.5
-        });
+        u.fill_interior(|x, y, z| ((13.0 * x).sin() + (17.0 * y).cos() + (19.0 * z).sin()) * 0.5);
         let f = Grid3::zeros(n);
         let mut scratch = Grid3::zeros(n);
         let mut r0 = Grid3::zeros(n);
@@ -348,7 +345,14 @@ mod tests {
         jacobi(OperatorKind::Poisson2, &mut u, &f, &mut scratch, 5);
         assert!(u.boundary_is_zero());
         let mut corr = Grid3::zeros(n);
-        chebyshev(OperatorKind::Poisson2, &mut u, &f, &mut scratch, &mut corr, 3);
+        chebyshev(
+            OperatorKind::Poisson2,
+            &mut u,
+            &f,
+            &mut scratch,
+            &mut corr,
+            3,
+        );
         assert!(u.boundary_is_zero());
     }
 }

@@ -24,12 +24,11 @@ pub fn restrict(fine: &Grid3, coarse: &mut Grid3) {
                     for dj in -1i32..=1 {
                         for di in -1i32..=1 {
                             let w = 0.5f64.powi(di.abs() + dj.abs() + dk.abs()) / 8.0;
-                            acc += w
-                                * fine.get(
-                                    (fi as i32 + di) as usize,
-                                    (fj as i32 + dj) as usize,
-                                    (fk as i32 + dk) as usize,
-                                );
+                            acc += w * fine.get(
+                                (fi as i32 + di) as usize,
+                                (fj as i32 + dj) as usize,
+                                (fk as i32 + dk) as usize,
+                            );
                         }
                     }
                 }

@@ -23,6 +23,7 @@
 
 pub mod cholesky;
 pub mod error;
+pub mod fastmath;
 pub mod matrix;
 pub mod stats;
 pub mod triangular;

@@ -15,6 +15,13 @@ use rayon::prelude::*;
 /// `matmul` criterion bench in `alperf-bench`).
 const PAR_THRESHOLD: usize = 64 * 64;
 
+/// Tile sizes for the blocked matrix product: `MM_ROW_BLOCK` output rows are
+/// produced per rayon task, and the inner (`k`) dimension is walked in
+/// `MM_K_BLOCK`-wide stripes so the corresponding rows of `B` stay cached
+/// while they are reused across the whole row block.
+const MM_ROW_BLOCK: usize = 32;
+const MM_K_BLOCK: usize = 64;
+
 /// Dense row-major matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
@@ -50,7 +57,11 @@ impl Matrix {
         if data.len() != rows * cols {
             return Err(LinalgError::DimensionMismatch {
                 op: "Matrix::from_vec",
-                details: format!("{rows}x{cols} needs {} elements, got {}", rows * cols, data.len()),
+                details: format!(
+                    "{rows}x{cols} needs {} elements, got {}",
+                    rows * cols,
+                    data.len()
+                ),
             });
         }
         Ok(Matrix { rows, cols, data })
@@ -131,9 +142,49 @@ impl Matrix {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
-    /// Copy column `j` into a fresh vector.
+    /// Copy column `j` into a fresh vector. Allocates; hot paths that read
+    /// columns repeatedly should use [`Matrix::copy_col_into`] with a reused
+    /// buffer instead.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+        let mut out = vec![0.0; self.rows];
+        self.copy_col_into(j, &mut out);
+        out
+    }
+
+    /// Copy column `j` into a caller-provided buffer of length `nrows`,
+    /// avoiding the per-call allocation of [`Matrix::col`].
+    ///
+    /// # Panics
+    /// Panics if `out.len() != nrows` or `j >= ncols`.
+    pub fn copy_col_into(&self, j: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.rows, "copy_col_into: buffer length");
+        assert!(j < self.cols, "copy_col_into: column out of range");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.data[i * self.cols + j];
+        }
+    }
+
+    /// Squared Euclidean norm of every row. The batched kernel evaluation
+    /// uses these in the `‖a−b‖² = ‖a‖² + ‖b‖² − 2a·b` expansion.
+    pub fn row_sq_norms(&self) -> Vec<f64> {
+        self.data
+            .chunks(self.cols.max(1))
+            .map(|r| dot(r, r))
+            .collect()
+    }
+
+    /// Squared Euclidean norm of every column, accumulated row-by-row so the
+    /// summation order per column matches a sequential `dot` over that
+    /// column — batched GPR variances stay bit-comparable to the per-point
+    /// path.
+    pub fn col_sq_norms(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.cols];
+        for row in self.data.chunks(self.cols.max(1)) {
+            for (a, &v) in acc.iter_mut().zip(row) {
+                *a += v * v;
+            }
+        }
+        acc
     }
 
     /// Flat row-major data.
@@ -186,8 +237,12 @@ impl Matrix {
 
     /// Matrix–matrix product `A B`.
     ///
-    /// Uses a cache-friendly i-k-j loop order over the row-major layout and
-    /// parallelizes over output rows for large problems.
+    /// Cache-blocked i-k-j order over the row-major layout: output rows are
+    /// produced in `MM_ROW_BLOCK`-row tiles (one rayon task each for large
+    /// problems) and the `k` dimension is walked in `MM_K_BLOCK` stripes so
+    /// each stripe of `B` rows is reused across the whole tile while still
+    /// hot. The `k` accumulation order is unchanged, so results are
+    /// bit-identical to the naive i-k-j product.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
         if self.cols != other.rows {
             return Err(LinalgError::DimensionMismatch {
@@ -200,26 +255,31 @@ impl Matrix {
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
         let n = other.cols;
-        let compute_row = |i: usize, orow: &mut [f64]| {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = other.row(k);
-                for j in 0..n {
-                    orow[j] += aik * brow[j];
+        if self.rows == 0 || n == 0 {
+            return Ok(out);
+        }
+        let compute_tile = |row0: usize, tile: &mut [f64]| {
+            for k0 in (0..self.cols).step_by(MM_K_BLOCK) {
+                let k1 = (k0 + MM_K_BLOCK).min(self.cols);
+                for (t, orow) in tile.chunks_mut(n).enumerate() {
+                    let arow = self.row(row0 + t);
+                    for (k, &aik) in arow.iter().enumerate().take(k1).skip(k0) {
+                        let brow = other.row(k);
+                        for (o, &b) in orow.iter_mut().zip(brow) {
+                            *o += aik * b;
+                        }
+                    }
                 }
             }
         };
         if self.rows * n >= PAR_THRESHOLD {
             out.data
-                .par_chunks_mut(n)
+                .par_chunks_mut(n * MM_ROW_BLOCK)
                 .enumerate()
-                .for_each(|(i, orow)| compute_row(i, orow));
+                .for_each(|(t, tile)| compute_tile(t * MM_ROW_BLOCK, tile));
         } else {
-            for (i, orow) in out.data.chunks_mut(n).enumerate() {
-                compute_row(i, orow);
+            for (t, tile) in out.data.chunks_mut(n * MM_ROW_BLOCK).enumerate() {
+                compute_tile(t * MM_ROW_BLOCK, tile);
             }
         }
         Ok(out)
@@ -331,6 +391,41 @@ impl Matrix {
             cols,
             data,
         })
+    }
+
+    /// Append a column in place. Rebuilds the row-major backing store once;
+    /// the pool-prediction cache uses this to extend `K(pool, train)` by a
+    /// single kernel column when one training point is added.
+    pub fn push_col(&mut self, col: &[f64]) -> Result<(), LinalgError> {
+        if col.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "push_col",
+                details: format!("column has {} rows, matrix has {}", col.len(), self.rows),
+            });
+        }
+        let new_cols = self.cols + 1;
+        let mut data = Vec::with_capacity(self.rows * new_cols);
+        for (row, &v) in self.data.chunks(self.cols.max(1)).zip(col) {
+            data.extend_from_slice(row);
+            data.push(v);
+        }
+        self.data = data;
+        self.cols = new_cols;
+        Ok(())
+    }
+
+    /// Remove row `i` in O(row) by moving the last row into its place
+    /// (order is NOT preserved) — mirrors `Vec::swap_remove`, matching how
+    /// the AL loop removes a chosen candidate from its pool.
+    pub fn swap_remove_row(&mut self, i: usize) {
+        assert!(i < self.rows, "swap_remove_row: row out of range");
+        let last = self.rows - 1;
+        if i != last {
+            let (head, tail) = self.data.split_at_mut(last * self.cols);
+            head[i * self.cols..(i + 1) * self.cols].copy_from_slice(tail);
+        }
+        self.data.truncate(last * self.cols);
+        self.rows = last;
     }
 }
 
@@ -458,7 +553,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]

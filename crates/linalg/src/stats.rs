@@ -39,22 +39,28 @@ pub fn population_variance(x: &[f64]) -> f64 {
 
 /// Minimum (ignoring NaN); `None` when empty or all-NaN.
 pub fn min(x: &[f64]) -> Option<f64> {
-    x.iter().copied().filter(|v| !v.is_nan()).fold(None, |m, v| {
-        Some(match m {
-            None => v,
-            Some(m) => m.min(v),
+    x.iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |m, v| {
+            Some(match m {
+                None => v,
+                Some(m) => m.min(v),
+            })
         })
-    })
 }
 
 /// Maximum (ignoring NaN); `None` when empty or all-NaN.
 pub fn max(x: &[f64]) -> Option<f64> {
-    x.iter().copied().filter(|v| !v.is_nan()).fold(None, |m, v| {
-        Some(match m {
-            None => v,
-            Some(m) => m.max(v),
+    x.iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |m, v| {
+            Some(match m {
+                None => v,
+                Some(m) => m.max(v),
+            })
         })
-    })
 }
 
 /// Geometric mean of strictly positive values; `None` if any value is
@@ -95,11 +101,7 @@ pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    let s: f64 = pred
-        .iter()
-        .zip(truth)
-        .map(|(p, t)| (p - t) * (p - t))
-        .sum();
+    let s: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
     (s / pred.len() as f64).sqrt()
 }
 
@@ -141,7 +143,10 @@ impl Standardizer {
 
     /// Identity transform (mean 0, scale 1).
     pub fn identity() -> Self {
-        Standardizer { mean: 0.0, std: 1.0 }
+        Standardizer {
+            mean: 0.0,
+            std: 1.0,
+        }
     }
 
     /// Apply the transform to one value.
@@ -249,7 +254,10 @@ mod tests {
 
     #[test]
     fn standardizer_scale_inverse() {
-        let s = Standardizer { mean: 7.0, std: 2.0 };
+        let s = Standardizer {
+            mean: 7.0,
+            std: 2.0,
+        };
         assert_eq!(s.inverse_scale(1.5), 3.0);
         // Scale inversion must not add the mean back.
         assert_ne!(s.inverse_scale(0.0), s.inverse(0.0));

@@ -7,6 +7,18 @@
 
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Number of right-hand-side columns handled per block in the multi-RHS
+/// solves. Each block is copied into a compact `n x RHS_BLOCK` buffer so the
+/// substitution sweeps contiguous memory, and blocks run in parallel under
+/// rayon — the RHS columns are independent even though the `n` dimension is
+/// sequential.
+const RHS_BLOCK: usize = 64;
+
+/// Below this many total RHS elements the multi-RHS solves stay serial;
+/// fork-join overhead dominates tiny problems.
+const RHS_PAR_THRESHOLD: usize = 64 * 64;
 
 /// Solve `L x = b` where `L` is lower triangular (entries above the diagonal
 /// are ignored). Returns the solution vector.
@@ -90,22 +102,590 @@ pub fn solve_upper(u: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     Ok(x)
 }
 
-/// Solve `L X = B` column-by-column for a matrix right-hand side; used to
-/// compute `L^{-1} K` when forming `K_y^{-1}` rows for the LML gradient.
+/// Solve `L X = B` for a matrix right-hand side with blocked multi-RHS
+/// forward substitution; used for `L^{-1} K` in the LML gradient and for
+/// batched GPR prediction (`Z = L^{-1} K(X, X*)`).
+///
+/// The RHS is processed in column blocks of [`RHS_BLOCK`]: each block is
+/// copied into a compact `n x bs` row-major buffer so the substitution's
+/// inner loop sweeps contiguous memory (a row operation over the block)
+/// instead of striding through `B`, and blocks run in parallel under rayon
+/// above [`RHS_PAR_THRESHOLD`]. Every element sees the same update *order*
+/// as [`solve_lower`] on its column; the portable path is bit-identical to
+/// the scalar solve, while the runtime-detected x86-64 FMA kernels fuse
+/// each multiply-subtract and agree with it to a few ulps.
 pub fn solve_lower_matrix(l: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    multi_rhs_solve(l, b, "solve_lower_matrix", forward_sub_block)
+}
+
+/// Solve `L X = B^T` where the right-hand sides arrive as the *rows* of
+/// `bt` (an `m x n` matrix), returning the solutions as the rows of an
+/// `m x n` result — i.e. row `r` of the output is `L^{-1} bt[r]`.
+///
+/// This is the layout batched GPR prediction wants: the cross-covariance
+/// `K(X*, X)` is naturally `m x n` with one candidate per row, and the
+/// per-candidate variance reduction needs the squared norm of each solved
+/// row. Packing straight from (and back to) the row layout fuses the
+/// transpose into the block copy the solve performs anyway, instead of
+/// materializing an `n x m` intermediate. Element-for-element the result is
+/// bit-identical to `solve_lower_matrix(l, &bt.transpose())` transposed.
+///
+/// # Errors
+/// Same conditions as [`solve_lower_matrix`].
+pub fn solve_lower_rhs_rows(l: &Matrix, bt: &Matrix) -> Result<Matrix, LinalgError> {
     let n = l.nrows();
-    if b.nrows() != n {
+    if l.ncols() != n || bt.ncols() != n {
         return Err(LinalgError::DimensionMismatch {
-            op: "solve_lower_matrix",
-            details: format!("L is {}x{}, B is {}x{}", l.nrows(), l.ncols(), b.nrows(), b.ncols()),
+            op: "solve_lower_rhs_rows",
+            details: format!(
+                "L is {}x{}, B^T is {}x{}",
+                l.nrows(),
+                l.ncols(),
+                bt.nrows(),
+                bt.ncols()
+            ),
         });
     }
-    let mut out = Matrix::zeros(n, b.ncols());
-    for j in 0..b.ncols() {
-        let col = b.col(j);
-        let x = solve_lower(l, &col)?;
+    for i in 0..n {
+        if l[(i, i)] == 0.0 {
+            return Err(LinalgError::Singular { index: i });
+        }
+    }
+    let m = bt.nrows();
+    let mut out = Matrix::zeros(m, n);
+    if n == 0 || m == 0 {
+        return Ok(out);
+    }
+    let starts: Vec<usize> = (0..m).step_by(RHS_BLOCK).collect();
+    let solve_block = |r0: usize| -> Vec<f64> {
+        let bs = RHS_BLOCK.min(m - r0);
+        // Pack RHS rows r0..r0+bs as the *columns* of a compact n x bs
+        // buffer (the transpose happens inside this copy).
+        let mut buf = vec![0.0; n * bs];
+        for (c, row) in (r0..r0 + bs).map(|r| bt.row(r)).enumerate() {
+            for i in 0..n {
+                buf[i * bs + c] = row[i];
+            }
+        }
+        forward_sub_block(l, &mut buf, bs);
+        buf
+    };
+    let blocks: Vec<Vec<f64>> = if n * m >= RHS_PAR_THRESHOLD {
+        starts.par_iter().map(|&r0| solve_block(r0)).collect()
+    } else {
+        starts.iter().map(|&r0| solve_block(r0)).collect()
+    };
+    for (&r0, buf) in starts.iter().zip(&blocks) {
+        let bs = RHS_BLOCK.min(m - r0);
+        for (c, r) in (r0..r0 + bs).enumerate() {
+            let dst = out.row_mut(r);
+            for i in 0..n {
+                dst[i] = buf[i * bs + c];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Solve `L^T X = B` for a matrix right-hand side (backward substitution,
+/// without materializing the transpose) — the multi-RHS analog of
+/// [`solve_lower_transpose`], bit-identical to it column-for-column.
+pub fn solve_lower_transpose_matrix(l: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    multi_rhs_solve(l, b, "solve_lower_transpose_matrix", backward_sub_block)
+}
+
+/// Rows solved together in [`forward_sub_block`]: each solved row `x_j`
+/// loaded from the buffer updates `PANEL` pending rows at once, cutting the
+/// buffer traffic (the bandwidth bound of the substitution) by the same
+/// factor. Per `(row, column)` element the update order over `j` is
+/// unchanged, so the panelled sweep matches the scalar one to roundoff
+/// (bit-identical on the portable path; the x86-64 FMA kernels fuse each
+/// multiply-subtract, which differs from the scalar path by at most one
+/// rounding per update).
+const PANEL: usize = 4;
+
+/// Column-tile width of the panel update: PANEL x KCHUNK accumulators stay
+/// in registers across the whole solved-rows sweep (8 AVX2 registers at
+/// PANEL = 4, KCHUNK = 8).
+const KCHUNK: usize = 8;
+
+/// Update four pending panel rows against all previously solved rows:
+/// `r_t[k] -= L[p0 + t][j] * done[j][k]` for `j` ascending. Dispatches to a
+/// runtime-detected FMA kernel on x86-64 and to the portable tiled loop
+/// elsewhere.
+fn panel_update(
+    lrows: (&[f64], &[f64], &[f64], &[f64]),
+    done: &[f64],
+    r0: &mut [f64],
+    r1: &mut [f64],
+    r2: &mut [f64],
+    r3: &mut [f64],
+    bs: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match simd::isa() {
+            simd::Isa::Avx512 => {
+                // SAFETY: `isa()` verified avx512f support on this CPU.
+                unsafe { simd::panel_update_avx512(lrows, done, r0, r1, r2, r3, bs) };
+                return;
+            }
+            simd::Isa::Fma => {
+                // SAFETY: `isa()` verified avx2+fma support on this CPU.
+                unsafe { simd::panel_update_fma(lrows, done, r0, r1, r2, r3, bs) };
+                return;
+            }
+            simd::Isa::Portable => {}
+        }
+    }
+    panel_update_portable(lrows, done, r0, r1, r2, r3, bs);
+}
+
+/// Portable panel update: the column dimension is tiled by [`KCHUNK`] so
+/// each tile's PANEL x KCHUNK accumulators live in registers for the whole
+/// `j` sweep; `x_j` values are loaded once per panel instead of once per
+/// row, and the accumulators incur no per-`j` store/reload traffic.
+/// Bit-identical to the scalar substitution (separate multiply and
+/// subtract, `j` ascending).
+fn panel_update_portable(
+    lrows: (&[f64], &[f64], &[f64], &[f64]),
+    done: &[f64],
+    r0: &mut [f64],
+    r1: &mut [f64],
+    r2: &mut [f64],
+    r3: &mut [f64],
+    bs: usize,
+) {
+    let (l0, l1, l2, l3) = lrows;
+    let mut k0 = 0;
+    while k0 + KCHUNK <= bs {
+        let mut a0 = [0.0f64; KCHUNK];
+        let mut a1 = [0.0f64; KCHUNK];
+        let mut a2 = [0.0f64; KCHUNK];
+        let mut a3 = [0.0f64; KCHUNK];
+        a0.copy_from_slice(&r0[k0..k0 + KCHUNK]);
+        a1.copy_from_slice(&r1[k0..k0 + KCHUNK]);
+        a2.copy_from_slice(&r2[k0..k0 + KCHUNK]);
+        a3.copy_from_slice(&r3[k0..k0 + KCHUNK]);
+        for (j, xj) in done.chunks_exact(bs).enumerate() {
+            let (c0, c1, c2, c3) = (l0[j], l1[j], l2[j], l3[j]);
+            let b = &xj[k0..k0 + KCHUNK];
+            for t in 0..KCHUNK {
+                a0[t] -= c0 * b[t];
+                a1[t] -= c1 * b[t];
+                a2[t] -= c2 * b[t];
+                a3[t] -= c3 * b[t];
+            }
+        }
+        r0[k0..k0 + KCHUNK].copy_from_slice(&a0);
+        r1[k0..k0 + KCHUNK].copy_from_slice(&a1);
+        r2[k0..k0 + KCHUNK].copy_from_slice(&a2);
+        r3[k0..k0 + KCHUNK].copy_from_slice(&a3);
+        k0 += KCHUNK;
+    }
+    // Ragged column remainder of the block.
+    if k0 < bs {
+        for (j, xj) in done.chunks_exact(bs).enumerate() {
+            let (c0, c1, c2, c3) = (l0[j], l1[j], l2[j], l3[j]);
+            for k in k0..bs {
+                let b = xj[k];
+                r0[k] -= c0 * b;
+                r1[k] -= c1 * b;
+                r2[k] -= c2 * b;
+                r3[k] -= c3 * b;
+            }
+        }
+    }
+}
+
+/// Runtime-dispatched x86-64 FMA kernels for the panel update. The Rust
+/// baseline target is SSE2; these widen the column loop to 256/512-bit
+/// lanes and fuse each multiply-subtract. Detection runs once and is
+/// cached.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use std::arch::x86_64::*;
+    use std::sync::OnceLock;
+
+    /// Best instruction set available on this CPU for the panel kernels.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Isa {
+        /// AVX-512F: 8-lane f64 FMA.
+        Avx512,
+        /// AVX2 + FMA: 4-lane f64 FMA.
+        Fma,
+        /// Neither — use the portable tiled loop.
+        Portable,
+    }
+
+    /// Detect (once) the widest usable kernel.
+    pub fn isa() -> Isa {
+        static ISA: OnceLock<Isa> = OnceLock::new();
+        *ISA.get_or_init(|| {
+            if is_x86_feature_detected!("avx512f") {
+                Isa::Avx512
+            } else if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                Isa::Fma
+            } else {
+                Isa::Portable
+            }
+        })
+    }
+
+    /// Scalar column remainder shared by both kernels: same update order,
+    /// unfused ops (the remainder is at most KCHUNK - 1 columns).
+    #[allow(clippy::too_many_arguments)]
+    fn remainder(
+        lrows: (&[f64], &[f64], &[f64], &[f64]),
+        done: &[f64],
+        r0: &mut [f64],
+        r1: &mut [f64],
+        r2: &mut [f64],
+        r3: &mut [f64],
+        bs: usize,
+        k0: usize,
+    ) {
+        let (l0, l1, l2, l3) = lrows;
+        for k in k0..bs {
+            let (mut s0, mut s1, mut s2, mut s3) = (r0[k], r1[k], r2[k], r3[k]);
+            for (j, xj) in done.chunks_exact(bs).enumerate() {
+                let b = xj[k];
+                s0 -= l0[j] * b;
+                s1 -= l1[j] * b;
+                s2 -= l2[j] * b;
+                s3 -= l3[j] * b;
+            }
+            r0[k] = s0;
+            r1[k] = s1;
+            r2[k] = s2;
+            r3[k] = s3;
+        }
+    }
+
+    /// AVX2 + FMA panel update: 8 ymm accumulators (4 rows x 8 columns).
+    ///
+    /// # Safety
+    /// The CPU must support `avx2` and `fma` (checked by [`isa`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn panel_update_fma(
+        lrows: (&[f64], &[f64], &[f64], &[f64]),
+        done: &[f64],
+        r0: &mut [f64],
+        r1: &mut [f64],
+        r2: &mut [f64],
+        r3: &mut [f64],
+        bs: usize,
+    ) {
+        let (l0, l1, l2, l3) = lrows;
+        let p0 = done.len() / bs;
+        let dp = done.as_ptr();
+        let mut k0 = 0usize;
+        while k0 + 8 <= bs {
+            unsafe {
+                let mut a00 = _mm256_loadu_pd(r0.as_ptr().add(k0));
+                let mut a01 = _mm256_loadu_pd(r0.as_ptr().add(k0 + 4));
+                let mut a10 = _mm256_loadu_pd(r1.as_ptr().add(k0));
+                let mut a11 = _mm256_loadu_pd(r1.as_ptr().add(k0 + 4));
+                let mut a20 = _mm256_loadu_pd(r2.as_ptr().add(k0));
+                let mut a21 = _mm256_loadu_pd(r2.as_ptr().add(k0 + 4));
+                let mut a30 = _mm256_loadu_pd(r3.as_ptr().add(k0));
+                let mut a31 = _mm256_loadu_pd(r3.as_ptr().add(k0 + 4));
+                for j in 0..p0 {
+                    let xj = dp.add(j * bs + k0);
+                    let b0 = _mm256_loadu_pd(xj);
+                    let b1 = _mm256_loadu_pd(xj.add(4));
+                    let c0 = _mm256_set1_pd(*l0.get_unchecked(j));
+                    a00 = _mm256_fnmadd_pd(c0, b0, a00);
+                    a01 = _mm256_fnmadd_pd(c0, b1, a01);
+                    let c1 = _mm256_set1_pd(*l1.get_unchecked(j));
+                    a10 = _mm256_fnmadd_pd(c1, b0, a10);
+                    a11 = _mm256_fnmadd_pd(c1, b1, a11);
+                    let c2 = _mm256_set1_pd(*l2.get_unchecked(j));
+                    a20 = _mm256_fnmadd_pd(c2, b0, a20);
+                    a21 = _mm256_fnmadd_pd(c2, b1, a21);
+                    let c3 = _mm256_set1_pd(*l3.get_unchecked(j));
+                    a30 = _mm256_fnmadd_pd(c3, b0, a30);
+                    a31 = _mm256_fnmadd_pd(c3, b1, a31);
+                }
+                _mm256_storeu_pd(r0.as_mut_ptr().add(k0), a00);
+                _mm256_storeu_pd(r0.as_mut_ptr().add(k0 + 4), a01);
+                _mm256_storeu_pd(r1.as_mut_ptr().add(k0), a10);
+                _mm256_storeu_pd(r1.as_mut_ptr().add(k0 + 4), a11);
+                _mm256_storeu_pd(r2.as_mut_ptr().add(k0), a20);
+                _mm256_storeu_pd(r2.as_mut_ptr().add(k0 + 4), a21);
+                _mm256_storeu_pd(r3.as_mut_ptr().add(k0), a30);
+                _mm256_storeu_pd(r3.as_mut_ptr().add(k0 + 4), a31);
+            }
+            k0 += 8;
+        }
+        remainder(lrows, done, r0, r1, r2, r3, bs, k0);
+    }
+
+    /// AVX-512F panel update: 8 zmm accumulators (4 rows x 16 columns).
+    ///
+    /// # Safety
+    /// The CPU must support `avx512f` (checked by [`isa`]).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn panel_update_avx512(
+        lrows: (&[f64], &[f64], &[f64], &[f64]),
+        done: &[f64],
+        r0: &mut [f64],
+        r1: &mut [f64],
+        r2: &mut [f64],
+        r3: &mut [f64],
+        bs: usize,
+    ) {
+        let (l0, l1, l2, l3) = lrows;
+        let p0 = done.len() / bs;
+        let dp = done.as_ptr();
+        let mut k0 = 0usize;
+        while k0 + 16 <= bs {
+            unsafe {
+                let mut a00 = _mm512_loadu_pd(r0.as_ptr().add(k0));
+                let mut a01 = _mm512_loadu_pd(r0.as_ptr().add(k0 + 8));
+                let mut a10 = _mm512_loadu_pd(r1.as_ptr().add(k0));
+                let mut a11 = _mm512_loadu_pd(r1.as_ptr().add(k0 + 8));
+                let mut a20 = _mm512_loadu_pd(r2.as_ptr().add(k0));
+                let mut a21 = _mm512_loadu_pd(r2.as_ptr().add(k0 + 8));
+                let mut a30 = _mm512_loadu_pd(r3.as_ptr().add(k0));
+                let mut a31 = _mm512_loadu_pd(r3.as_ptr().add(k0 + 8));
+                for j in 0..p0 {
+                    let xj = dp.add(j * bs + k0);
+                    let b0 = _mm512_loadu_pd(xj);
+                    let b1 = _mm512_loadu_pd(xj.add(8));
+                    let c0 = _mm512_set1_pd(*l0.get_unchecked(j));
+                    a00 = _mm512_fnmadd_pd(c0, b0, a00);
+                    a01 = _mm512_fnmadd_pd(c0, b1, a01);
+                    let c1 = _mm512_set1_pd(*l1.get_unchecked(j));
+                    a10 = _mm512_fnmadd_pd(c1, b0, a10);
+                    a11 = _mm512_fnmadd_pd(c1, b1, a11);
+                    let c2 = _mm512_set1_pd(*l2.get_unchecked(j));
+                    a20 = _mm512_fnmadd_pd(c2, b0, a20);
+                    a21 = _mm512_fnmadd_pd(c2, b1, a21);
+                    let c3 = _mm512_set1_pd(*l3.get_unchecked(j));
+                    a30 = _mm512_fnmadd_pd(c3, b0, a30);
+                    a31 = _mm512_fnmadd_pd(c3, b1, a31);
+                }
+                _mm512_storeu_pd(r0.as_mut_ptr().add(k0), a00);
+                _mm512_storeu_pd(r0.as_mut_ptr().add(k0 + 8), a01);
+                _mm512_storeu_pd(r1.as_mut_ptr().add(k0), a10);
+                _mm512_storeu_pd(r1.as_mut_ptr().add(k0 + 8), a11);
+                _mm512_storeu_pd(r2.as_mut_ptr().add(k0), a20);
+                _mm512_storeu_pd(r2.as_mut_ptr().add(k0 + 8), a21);
+                _mm512_storeu_pd(r3.as_mut_ptr().add(k0), a30);
+                _mm512_storeu_pd(r3.as_mut_ptr().add(k0 + 8), a31);
+            }
+            k0 += 16;
+        }
+        remainder(lrows, done, r0, r1, r2, r3, bs, k0);
+    }
+
+    /// Double-height AVX-512 panel update on the raw block buffer: rows
+    /// `p0..p0 + 8` updated against solved rows `0..p0` with 16 zmm
+    /// accumulators (8 rows x 16 columns), so each `x_j` load serves eight
+    /// pending rows — half the buffer traffic of the 4-row kernel.
+    ///
+    /// # Safety
+    /// The CPU must support `avx512f` (checked by [`isa`]); `buf` must hold
+    /// at least `(p0 + 8) * bs` elements (it is a full `n x bs` block).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn panel_update8_avx512(
+        l: &crate::matrix::Matrix,
+        p0: usize,
+        buf: &mut [f64],
+        bs: usize,
+    ) {
+        let lp: [&[f64]; 8] = std::array::from_fn(|t| l.row(p0 + t));
+        let base = buf.as_mut_ptr();
+        let mut k0 = 0usize;
+        while k0 + 16 <= bs {
+            unsafe {
+                let mut acc0: [__m512d; 8] = std::array::from_fn(|t| {
+                    _mm512_loadu_pd(base.add((p0 + t) * bs + k0) as *const f64)
+                });
+                let mut acc1: [__m512d; 8] = std::array::from_fn(|t| {
+                    _mm512_loadu_pd(base.add((p0 + t) * bs + k0 + 8) as *const f64)
+                });
+                for j in 0..p0 {
+                    let xj = base.add(j * bs + k0) as *const f64;
+                    let b0 = _mm512_loadu_pd(xj);
+                    let b1 = _mm512_loadu_pd(xj.add(8));
+                    for t in 0..8 {
+                        let c = _mm512_set1_pd(*lp[t].get_unchecked(j));
+                        acc0[t] = _mm512_fnmadd_pd(c, b0, acc0[t]);
+                        acc1[t] = _mm512_fnmadd_pd(c, b1, acc1[t]);
+                    }
+                }
+                for t in 0..8 {
+                    _mm512_storeu_pd(base.add((p0 + t) * bs + k0), acc0[t]);
+                    _mm512_storeu_pd(base.add((p0 + t) * bs + k0 + 8), acc1[t]);
+                }
+            }
+            k0 += 16;
+        }
+        // Scalar column remainder, same update order.
+        for k in k0..bs {
+            let mut s: [f64; 8] = std::array::from_fn(|t| buf[(p0 + t) * bs + k]);
+            for j in 0..p0 {
+                let b = buf[j * bs + k];
+                for (st, lt) in s.iter_mut().zip(&lp) {
+                    *st -= lt[j] * b;
+                }
+            }
+            for (t, &st) in s.iter().enumerate() {
+                buf[(p0 + t) * bs + k] = st;
+            }
+        }
+    }
+}
+
+/// Forward substitution on a compact `n x bs` row-major block buffer.
+/// Row op `x_i -= L[i][j] * x_j` (j ascending), then `x_i /= L[i][i]` —
+/// the exact per-element op order of [`solve_lower`].
+///
+/// Rows are processed in panels of [`PANEL`]: the panel is first updated
+/// against all previously solved rows (`j` ascending, four pending rows
+/// sharing each `x_j` load), then the small triangle inside the panel is
+/// finished row by row. Each element still sees `x_i -= L[i][j] * x_j` for
+/// `j = 0..i` in ascending order followed by one divide, exactly as
+/// [`solve_lower`] computes it.
+fn forward_sub_block(l: &Matrix, buf: &mut [f64], bs: usize) {
+    let n = l.nrows();
+    let mut p0 = 0;
+    // AVX-512 gets double-height panels: 16 zmm accumulators cover
+    // 8 rows x 16 columns, so each `x_j` load serves 8 pending rows.
+    #[cfg(target_arch = "x86_64")]
+    if simd::isa() == simd::Isa::Avx512 {
+        while n - p0 >= 2 * PANEL {
+            if p0 > 0 {
+                // SAFETY: `isa()` verified avx512f support on this CPU.
+                unsafe { simd::panel_update8_avx512(l, p0, buf, bs) };
+            }
+            finish_triangle(l, buf, bs, p0, 2 * PANEL);
+            p0 += 2 * PANEL;
+        }
+    }
+    while p0 < n {
+        let ph = PANEL.min(n - p0);
+        // Panel update against rows [0, p0) — the bulk of the work.
+        if ph == PANEL && p0 > 0 {
+            let (done, rest) = buf.split_at_mut(p0 * bs);
+            let (r0, rest) = rest.split_at_mut(bs);
+            let (r1, rest) = rest.split_at_mut(bs);
+            let (r2, rest) = rest.split_at_mut(bs);
+            let r3 = &mut rest[..bs];
+            let lrows = (l.row(p0), l.row(p0 + 1), l.row(p0 + 2), l.row(p0 + 3));
+            panel_update(lrows, done, r0, r1, r2, r3, bs);
+        } else if p0 > 0 {
+            // Ragged final panel: plain row-at-a-time update.
+            for i in p0..p0 + ph {
+                let lrow = l.row(i);
+                let (done, rest) = buf.split_at_mut(i * bs);
+                let xi = &mut rest[..bs];
+                for (j, xj) in done.chunks_exact(bs).enumerate().take(p0) {
+                    let lij = lrow[j];
+                    for (a, &b) in xi.iter_mut().zip(xj) {
+                        *a -= lij * b;
+                    }
+                }
+            }
+        }
+        finish_triangle(l, buf, bs, p0, ph);
+        p0 += ph;
+    }
+}
+
+/// Finish a panel: the triangle of updates internal to rows
+/// `p0..p0 + ph` (`j` in `[p0, i)`, ascending), then the diagonal divide.
+fn finish_triangle(l: &Matrix, buf: &mut [f64], bs: usize, p0: usize, ph: usize) {
+    for i in p0..p0 + ph {
+        let lrow = l.row(i);
+        let (done, rest) = buf.split_at_mut(i * bs);
+        let xi = &mut rest[..bs];
+        for (j, xj) in done.chunks_exact(bs).enumerate().skip(p0) {
+            let lij = lrow[j];
+            for (a, &b) in xi.iter_mut().zip(xj) {
+                *a -= lij * b;
+            }
+        }
+        let d = lrow[i];
+        for a in xi.iter_mut() {
+            *a /= d;
+        }
+    }
+}
+
+/// Backward substitution (`L^T x = b`) on a compact block buffer; the exact
+/// per-element op order of [`solve_lower_transpose`].
+fn backward_sub_block(l: &Matrix, buf: &mut [f64], bs: usize) {
+    let n = l.nrows();
+    for i in (0..n).rev() {
+        let (head, tail) = buf.split_at_mut((i + 1) * bs);
+        let xi = &mut head[i * bs..];
+        for (k, xj) in tail.chunks_exact(bs).enumerate() {
+            // L^T[i][j] = L[j][i] for j = i + 1 + k.
+            let lji = l[(i + 1 + k, i)];
+            for (a, &b) in xi.iter_mut().zip(xj) {
+                *a -= lji * b;
+            }
+        }
+        let d = l[(i, i)];
+        for a in xi.iter_mut() {
+            *a /= d;
+        }
+    }
+}
+
+fn multi_rhs_solve(
+    l: &Matrix,
+    b: &Matrix,
+    op: &'static str,
+    substitute: fn(&Matrix, &mut [f64], usize),
+) -> Result<Matrix, LinalgError> {
+    let n = l.nrows();
+    if l.ncols() != n || b.nrows() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op,
+            details: format!(
+                "L is {}x{}, B is {}x{}",
+                l.nrows(),
+                l.ncols(),
+                b.nrows(),
+                b.ncols()
+            ),
+        });
+    }
+    // Validate the diagonal up front so the blocks can run infallibly in
+    // parallel afterwards.
+    for i in 0..n {
+        if l[(i, i)] == 0.0 {
+            return Err(LinalgError::Singular { index: i });
+        }
+    }
+    let m = b.ncols();
+    let mut out = Matrix::zeros(n, m);
+    if n == 0 || m == 0 {
+        return Ok(out);
+    }
+    let starts: Vec<usize> = (0..m).step_by(RHS_BLOCK).collect();
+    let solve_block = |j0: usize| -> Vec<f64> {
+        let bs = RHS_BLOCK.min(m - j0);
+        let mut buf = vec![0.0; n * bs];
         for i in 0..n {
-            out[(i, j)] = x[i];
+            buf[i * bs..(i + 1) * bs].copy_from_slice(&b.row(i)[j0..j0 + bs]);
+        }
+        substitute(l, &mut buf, bs);
+        buf
+    };
+    let blocks: Vec<Vec<f64>> = if n * m >= RHS_PAR_THRESHOLD {
+        starts.par_iter().map(|&j0| solve_block(j0)).collect()
+    } else {
+        starts.iter().map(|&j0| solve_block(j0)).collect()
+    };
+    for (&j0, buf) in starts.iter().zip(&blocks) {
+        let bs = RHS_BLOCK.min(m - j0);
+        for i in 0..n {
+            out.row_mut(i)[j0..j0 + bs].copy_from_slice(&buf[i * bs..(i + 1) * bs]);
         }
     }
     Ok(out)
@@ -178,6 +758,127 @@ mod tests {
         // L * X should reproduce B.
         let lb = l.matmul(&x).unwrap();
         assert!(lb.max_abs_diff(&b) < 1e-12);
+    }
+
+    /// Dense pseudo-random lower-triangular factor with a safe diagonal.
+    fn random_lower(n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..i {
+                l[(i, j)] = next();
+            }
+            l[(i, i)] = 1.0 + next().abs();
+        }
+        l
+    }
+
+    fn random_rhs(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, move |i, j| {
+            let mut s = seed ^ ((i as u64) << 32) ^ (j as u64);
+            s = s.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            s ^= s >> 27;
+            s = s.wrapping_mul(0x94D0_49BB_1331_11EB);
+            s ^= s >> 31;
+            (s >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+        })
+    }
+
+    #[test]
+    fn solve_lower_matrix_matches_columnwise_to_roundoff() {
+        // Wide enough to cross RHS_PAR_THRESHOLD and exercise a ragged
+        // final block (RHS_BLOCK does not divide 150). The multi-RHS path
+        // shares the scalar update order but may fuse multiply-subtract in
+        // its FMA kernels, so the comparison allows roundoff-level error
+        // (bit-identical on the portable path).
+        let l = random_lower(48, 3);
+        let b = random_rhs(48, 150, 5);
+        let x = solve_lower_matrix(&l, &b).unwrap();
+        for j in 0..b.ncols() {
+            let xj = solve_lower(&l, &b.col(j)).unwrap();
+            for i in 0..b.nrows() {
+                let (got, want) = (x[(i, j)], xj[i]);
+                assert!(
+                    (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                    "mismatch at ({i}, {j}): {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_lower_rhs_rows_matches_transposed_solve() {
+        // The fused-transpose entry point must agree with transposing the
+        // RHS explicitly — exactly, since both run the same block kernels.
+        let l = random_lower(48, 7);
+        let bt = random_rhs(150, 48, 9);
+        let rows = solve_lower_rhs_rows(&l, &bt).unwrap();
+        let cols = solve_lower_matrix(&l, &bt.transpose()).unwrap();
+        for r in 0..bt.nrows() {
+            for i in 0..48 {
+                assert_eq!(rows[(r, i)], cols[(i, r)], "mismatch at ({r}, {i})");
+            }
+        }
+        // Error cases mirror solve_lower_matrix.
+        assert!(solve_lower_rhs_rows(&l, &random_rhs(10, 47, 1)).is_err());
+        let sing = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 0.0]]).unwrap();
+        assert_eq!(
+            solve_lower_rhs_rows(&sing, &Matrix::zeros(3, 2)),
+            Err(LinalgError::Singular { index: 1 })
+        );
+        // Empty RHS and empty system both round-trip.
+        assert_eq!(
+            solve_lower_rhs_rows(&l, &Matrix::zeros(0, 48))
+                .unwrap()
+                .nrows(),
+            0
+        );
+    }
+
+    #[test]
+    fn solve_lower_transpose_matrix_bit_identical_to_columnwise() {
+        let l = random_lower(48, 11);
+        let b = random_rhs(48, 150, 13);
+        let x = solve_lower_transpose_matrix(&l, &b).unwrap();
+        for j in 0..b.ncols() {
+            let xj = solve_lower_transpose(&l, &b.col(j)).unwrap();
+            for i in 0..b.nrows() {
+                assert_eq!(x[(i, j)], xj[i], "mismatch at ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_solves_handle_empty_and_single_rhs() {
+        let l = lower();
+        let empty = Matrix::zeros(3, 0);
+        assert_eq!(solve_lower_matrix(&l, &empty).unwrap().ncols(), 0);
+        assert_eq!(solve_lower_transpose_matrix(&l, &empty).unwrap().ncols(), 0);
+        let single = random_rhs(3, 1, 1);
+        let x = solve_lower_transpose_matrix(&l, &single).unwrap();
+        let xs = solve_lower_transpose(&l, &single.col(0)).unwrap();
+        for i in 0..3 {
+            assert_eq!(x[(i, 0)], xs[i]);
+        }
+    }
+
+    #[test]
+    fn matrix_solves_reject_singular_and_mismatch() {
+        let l = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 0.0]]).unwrap();
+        let b = Matrix::zeros(2, 3);
+        assert_eq!(
+            solve_lower_matrix(&l, &b),
+            Err(LinalgError::Singular { index: 1 })
+        );
+        assert!(solve_lower_transpose_matrix(&l, &b).is_err());
+        let bad = Matrix::zeros(2, 3);
+        assert!(solve_lower_matrix(&lower(), &bad).is_err());
     }
 
     #[test]

@@ -54,7 +54,9 @@ fn main() {
     let partitions = 8; // the paper uses 50; fewer keeps the demo quick
     println!("== {partitions} AL realizations per strategy ==");
     let vr_runs = analysis
-        .run_batch(partitions, || Box::new(VarianceReduction) as Box<dyn Strategy>)
+        .run_batch(partitions, || {
+            Box::new(VarianceReduction) as Box<dyn Strategy>
+        })
         .expect("VR batch");
     let ce_runs = analysis
         .run_batch(partitions, || Box::new(CostEfficiency) as Box<dyn Strategy>)

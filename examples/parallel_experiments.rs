@@ -65,7 +65,10 @@ fn main() {
 
     println!("== 24 experiments each: sequential (q=1) vs batched (q=4) ==\n");
     let mut summaries = Vec::new();
-    for (label, q, rounds) in [("sequential q=1", 1usize, 24usize), ("batched    q=4", 4, 6)] {
+    for (label, q, rounds) in [
+        ("sequential q=1", 1usize, 24usize),
+        ("batched    q=4", 4, 6),
+    ] {
         let campaign = ParallelCampaign {
             x_all: &x,
             y_all: &y,

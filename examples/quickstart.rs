@@ -42,7 +42,10 @@ fn main() {
         .expect("operator column")
         .fix_variable(COL_NP, 32.0)
         .expect("NP column");
-    println!("\n== AL on the (poisson1, NP=32) slice: {} jobs ==", slice.n_rows());
+    println!(
+        "\n== AL on the (poisson1, NP=32) slice: {} jobs ==",
+        slice.n_rows()
+    );
 
     let config = AnalysisConfig {
         variables: vec![COL_SIZE.into(), COL_FREQ.into()],
@@ -64,11 +67,15 @@ fn main() {
     for (label, run) in [
         (
             "Variance Reduction",
-            analysis.run(&partition, &mut VarianceReduction).expect("AL run"),
+            analysis
+                .run(&partition, &mut VarianceReduction)
+                .expect("AL run"),
         ),
         (
             "Cost Efficiency   ",
-            analysis.run(&partition, &mut CostEfficiency).expect("AL run"),
+            analysis
+                .run(&partition, &mut CostEfficiency)
+                .expect("AL run"),
         ),
     ] {
         let first = &run.history[0];

@@ -9,8 +9,8 @@ use alperf::cluster::campaign::{Campaign, COL_FREQ, COL_NP, COL_OPERATOR, COL_SI
 use alperf::cluster::workload::WorkloadSpec;
 use alperf::data::partition::Partition;
 use alperf::framework::analysis::paper_kernel_bounds;
-use alperf::gp::noise::NoiseFloor;
 use alperf::gp::kernel::ArdSquaredExponential;
+use alperf::gp::noise::NoiseFloor;
 use alperf::gp::optimize::GprConfig;
 use alperf::linalg::matrix::Matrix;
 
@@ -46,7 +46,11 @@ fn focus_problem() -> (Matrix, Vec<f64>, Vec<f64>) {
         flat.push(sizes[i].log10());
         flat.push(freqs[i]);
     }
-    (Matrix::from_vec(n, 2, flat).expect("matrix"), y, vec![1.0; n])
+    (
+        Matrix::from_vec(n, 2, flat).expect("matrix"),
+        y,
+        vec![1.0; n],
+    )
 }
 
 fn gpr(floor: NoiseFloor, seed: u64) -> GprConfig {

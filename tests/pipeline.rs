@@ -179,7 +179,10 @@ fn memory_usage_is_a_modelable_response() {
 fn power_dataset_supports_energy_modeling() {
     let out = small_campaign();
     assert!(out.power.n_rows() > 20, "power dataset too small");
-    let slice = out.power.fix_level(COL_OPERATOR, "poisson1").expect("operator");
+    let slice = out
+        .power
+        .fix_level(COL_OPERATOR, "poisson1")
+        .expect("operator");
     let config = AnalysisConfig {
         variables: vec![COL_SIZE.into(), COL_NP.into()],
         log_variables: vec![COL_SIZE.into(), COL_NP.into()],

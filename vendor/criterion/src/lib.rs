@@ -1,0 +1,237 @@
+#![allow(clippy::all)]
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the call surface the workspace benches use — `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `bench_with_input`
+//! / `finish`, `Bencher::iter`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — over a simple wall-clock
+//! loop: warm up briefly, then run timed passes and report the mean.
+//!
+//! Each benchmark prints one line:
+//! `bench: <id> mean <human> (<ns> ns/iter, <iters> iters)` — stable enough
+//! to grep into JSON baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing driver handed to the closure; call [`Bencher::iter`].
+pub struct Bencher {
+    /// Proportional knob from `sample_size` (upstream default 100); scales
+    /// the measurement budget.
+    sample_size: usize,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly and record the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: at least one run, up to ~20 ms.
+        let warm_start = Instant::now();
+        black_box(f());
+        let mut warm_iters = 1u64;
+        while warm_start.elapsed() < Duration::from_millis(20) && warm_iters < 1000 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        // Measurement budget scales with sample_size (100 -> 200 ms).
+        let budget = Duration::from_micros(2_000 * self.sample_size as u64);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= budget && iters >= 5 {
+                break;
+            }
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "bench: {} mean {} ({:.0} ns/iter, {} iters)",
+        id,
+        human(b.mean_ns),
+        b.mean_ns,
+        b.iters
+    );
+}
+
+/// Top-level harness; mirrors `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, 100, |b| f(b));
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sampling effort (upstream default 100).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(10);
+        self
+    }
+
+    /// Run a benchmark under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_one(&id, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Run a benchmark that receives `input` by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.id);
+        run_one(&id, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is per-bench; nothing left to flush).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_mean() {
+        let mut b = Bencher {
+            sample_size: 10,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        b.iter(|| black_box(3u64.wrapping_mul(7)));
+        assert!(b.mean_ns > 0.0);
+        assert!(b.iters >= 5);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(10);
+        for n in [4usize, 8] {
+            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<usize>());
+            });
+        }
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| 2 * 2));
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("solve", 64).id, "solve/64");
+        assert_eq!(BenchmarkId::from_parameter(256).id, "256");
+    }
+}

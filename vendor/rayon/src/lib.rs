@@ -1,0 +1,376 @@
+#![allow(clippy::all)]
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal data-parallelism layer with the same call surface the crates use:
+//! `par_iter` / `par_chunks` / `par_chunks_mut` on slices, `into_par_iter` on
+//! ranges and vectors, and `map` / `enumerate` / `zip` / `for_each` /
+//! `collect` / `reduce` / `sum` combinators. Work is genuinely parallel: the
+//! driver partitions items into contiguous blocks and fans them out over
+//! `std::thread::scope`, preserving input order in every result.
+//!
+//! Differences from upstream rayon: no work stealing (static partitioning
+//! only), `reduce` folds block results sequentially (deterministic given an
+//! associative operator), and nested parallel calls inside a worker run
+//! serially instead of sharing a pool.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    /// Per-thread override of the fan-out width. `None` means "use all
+    /// available cores". Workers run with a limit of 1 so nested parallel
+    /// calls do not oversubscribe the machine.
+    static PAR_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn effective_threads() -> usize {
+    PAR_LIMIT.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+fn with_limit<R>(n: usize, op: impl FnOnce() -> R) -> R {
+    let prev = PAR_LIMIT.with(|c| c.replace(if n == 0 { None } else { Some(n) }));
+    let out = op();
+    PAR_LIMIT.with(|c| c.set(prev));
+    out
+}
+
+/// Map `f` over `items` on up to [`effective_threads`] scoped threads,
+/// returning results in input order.
+fn run_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let t = effective_threads().min(n).max(1);
+    if t <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = (n + t - 1) / t;
+    let mut groups: Vec<Vec<T>> = Vec::with_capacity(t);
+    let mut it = items.into_iter();
+    loop {
+        let g: Vec<T> = it.by_ref().take(chunk).collect();
+        if g.is_empty() {
+            break;
+        }
+        groups.push(g);
+    }
+    let f = &f;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|g| {
+                s.spawn(move || {
+                    PAR_LIMIT.with(|c| c.set(Some(1)));
+                    g.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// A materialized "parallel iterator": the item list is collected up front
+/// and the terminal operation fans it out over threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair each item with its index, preserving order.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Pair items with another parallel iterator (truncating to the shorter).
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Lazily attach a map stage; executed by the terminal operation.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_map(self.items, |t| f(t));
+    }
+
+    /// Collect the items (no-op parallelism; kept for API parity).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A [`ParIter`] with a pending map stage.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Execute the map in parallel and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_map(self.items, self.f).into_iter().collect()
+    }
+
+    /// Execute the map in parallel, discarding results.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Sync,
+    {
+        let f = self.f;
+        run_map(self.items, |t| g(f(t)));
+    }
+
+    /// Parallel map followed by an ordered fold with `op`, seeded by
+    /// `identity()`. Deterministic for associative `op`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        run_map(self.items, self.f)
+            .into_iter()
+            .fold(identity(), |a, b| op(a, b))
+    }
+
+    /// Parallel map followed by a sum of the results.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        run_map(self.items, self.f).into_iter().sum()
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T` items.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over contiguous `&[T]` chunks of length `size`
+    /// (last chunk may be shorter). Panics if `size == 0`.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint `&mut [T]` chunks of length `size`
+    /// (last chunk may be shorter). Panics if `size == 0`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// `into_par_iter` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Item type produced by the iterator.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(usize, u64, u32, i64, i32);
+
+/// Error from [`ThreadPoolBuilder::build`]; the shim never actually fails.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Scoped-width pool: [`ThreadPool::install`] bounds the fan-out of parallel
+/// calls made on the calling thread.
+pub struct ThreadPool {
+    n: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread limit applied.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        with_limit(self.n, op)
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (all cores) width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Limit the pool to `n` threads; 0 means "all cores".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool (infallible in the shim).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            n: self.num_threads,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjoint() {
+        let mut v = vec![0.0f64; 64 * 7];
+        v.par_chunks_mut(64).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i as f64;
+            }
+        });
+        for (i, c) in v.chunks(64).enumerate() {
+            assert!(c.iter().all(|&x| x == i as f64));
+        }
+    }
+
+    #[test]
+    fn zip_and_reduce_match_serial() {
+        let a = vec![1.0f64; 300];
+        let b: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let got = a
+            .par_chunks(32)
+            .zip(b.par_chunks(32))
+            .enumerate()
+            .map(|(_, (x, y))| x.iter().zip(y).map(|(p, q)| p * q).sum::<f64>())
+            .reduce(|| 0.0, |p, q| p + q);
+        let want: f64 = (0..300).map(|i| i as f64).sum();
+        assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn par_iter_on_vec() {
+        let idx = vec![3usize, 1, 4, 1, 5];
+        let out: Vec<usize> = idx.par_iter().map(|&i| i + 1).collect();
+        assert_eq!(out, vec![4, 2, 5, 2, 6]);
+    }
+
+    #[test]
+    fn install_limits_do_not_change_results() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let out = pool.install(|| {
+            (0..100usize)
+                .into_par_iter()
+                .map(|i| i * i)
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let s: f64 = (0..1000usize).into_par_iter().map(|i| i as f64).sum();
+        assert_eq!(s, 499_500.0);
+    }
+
+    #[test]
+    fn panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            (0..64usize).into_par_iter().for_each(|i| {
+                if i == 63 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+    }
+}
