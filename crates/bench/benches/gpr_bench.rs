@@ -141,13 +141,26 @@ fn bench_predict_pool(c: &mut Criterion) {
 fn bench_fit_optimized(c: &mut Criterion) {
     let mut g = c.benchmark_group("fit_gpr_optimized");
     g.sample_size(10);
-    for n in [32usize, 96] {
+    // 160 exercises the blocked (n >= 128) Cholesky path inside the fit.
+    for n in [32usize, 96, 160] {
         let (x, y) = training_data(n);
         let cfg = GprConfig::new(Box::new(SquaredExponential::unit()))
             .with_noise_floor(NoiseFloor::recommended())
             .with_restarts(2);
         g.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
             b.iter(|| fit_gpr(black_box(x), black_box(&y), &cfg).expect("fit"))
+        });
+    }
+    // Restart-dispatch overhead check: serial vs rayon at a fixed size
+    // (identical results; on multicore hardware the parallel path wins).
+    for (label, parallel) in [("serial", false), ("parallel", true)] {
+        let (x, y) = training_data(64);
+        let cfg = GprConfig::new(Box::new(SquaredExponential::unit()))
+            .with_noise_floor(NoiseFloor::recommended())
+            .with_restarts(4)
+            .with_parallel(parallel);
+        g.bench_function(BenchmarkId::new("restarts4_n64", label), |b| {
+            b.iter(|| fit_gpr(black_box(&x), black_box(&y), &cfg).expect("fit"))
         });
     }
     g.finish();

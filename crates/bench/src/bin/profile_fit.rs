@@ -1,0 +1,148 @@
+//! Stage-by-stage profiler for the GPR training path plus the
+//! `BENCH_gpr_fit.json` sweep.
+//!
+//! Usage:
+//!   profile_fit            # stage breakdown at n=200 + full sweep
+//!   profile_fit --quick    # tiny sizes / few reps (CI smoke run)
+//!
+//! All timings are min-over-repeats (`best`), the right statistic on a
+//! noisy shared VM: the minimum is the run least disturbed by neighbors.
+
+use alperf_gp::kernel::SquaredExponential;
+use alperf_gp::lml::{self, FitCache};
+use alperf_gp::noise::NoiseFloor;
+use alperf_gp::optimize::{fit_gpr, GprConfig};
+use alperf_linalg::cholesky::Cholesky;
+use alperf_linalg::matrix::Matrix;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Synthetic 2-D training set matching the shape of the paper's
+/// (processes, problem-size) configuration space.
+fn training_data(n: usize) -> (Matrix, Vec<f64>) {
+    let x = Matrix::from_fn(n, 2, |i, j| {
+        if j == 0 {
+            3.0 + 6.0 * (i as f64 / n as f64)
+        } else {
+            1.2 + 1.2 * ((i * 7 % n) as f64 / n as f64)
+        }
+    });
+    let y: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.1).sin() + i as f64 * 0.01)
+        .collect();
+    (x, y)
+}
+
+fn fit_config(restarts: usize) -> GprConfig {
+    GprConfig::new(Box::new(SquaredExponential::unit()))
+        .with_noise_floor(NoiseFloor::recommended())
+        .with_restarts(restarts)
+        .with_seed(17)
+}
+
+fn stage_breakdown(n: usize, reps: usize) {
+    let (x, y) = training_data(n);
+    let kernel = SquaredExponential::new(1.0, 1.0);
+    let sn = 0.1;
+    let cache = FitCache::build(&kernel, &x);
+
+    println!("== stage breakdown at n={n} (ms, min of {reps}) ==");
+    println!(
+        "K pointwise : {:9.3}",
+        best(reps, || {
+            black_box(lml::assemble_covariance(&kernel, &x));
+        })
+    );
+    let mut ky = lml::assemble_covariance(&kernel, &x);
+    ky.add_diagonal(sn * sn);
+    println!(
+        "chol unblk  : {:9.3}",
+        best(reps, || {
+            black_box(Cholesky::decompose_unblocked(&ky).unwrap());
+        })
+    );
+    println!(
+        "chol blocked: {:9.3}",
+        best(reps, || {
+            black_box(Cholesky::decompose_blocked(&ky).unwrap());
+        })
+    );
+    println!(
+        "lml pointwse: {:9.3}",
+        best(reps, || {
+            black_box(lml::lml_value(&kernel, sn, &x, &y).unwrap());
+        })
+    );
+    println!(
+        "lml cached  : {:9.3}",
+        best(reps, || {
+            black_box(lml::lml_value_cached(&kernel, sn, &x, &y, &cache).unwrap());
+        })
+    );
+    println!(
+        "grad pointws: {:9.3}",
+        best(reps, || {
+            black_box(lml::lml_and_grad(&kernel, sn, &x, &y, true).unwrap());
+        })
+    );
+    println!(
+        "grad cached : {:9.3}",
+        best(reps, || {
+            black_box(lml::lml_and_grad_cached(&kernel, sn, &x, &y, true, &cache).unwrap());
+        })
+    );
+    // End-to-end single ascent (restarts=1) with/without parallel dispatch.
+    println!(
+        "fit r=1     : {:9.3}",
+        best(reps.min(5), || {
+            black_box(fit_gpr(&x, &y, &fit_config(1)).unwrap());
+        })
+    );
+    println!(
+        "fit r=5 ser : {:9.3}",
+        best(reps.min(3), || {
+            black_box(fit_gpr(&x, &y, &fit_config(5).with_parallel(false)).unwrap());
+        })
+    );
+    println!(
+        "fit r=5 par : {:9.3}",
+        best(reps.min(3), || {
+            black_box(fit_gpr(&x, &y, &fit_config(5)).unwrap());
+        })
+    );
+}
+
+fn sweep(sizes: &[usize], restart_counts: &[usize]) {
+    println!("== fit_gpr sweep (ms, min-over-reps) — paste into BENCH_gpr_fit.json ==");
+    for &n in sizes {
+        let (x, y) = training_data(n);
+        for &r in restart_counts {
+            let reps = if n >= 400 { 3 } else { 5 };
+            let ms = best(reps, || {
+                black_box(fit_gpr(&x, &y, &fit_config(r)).unwrap());
+            });
+            println!("{{ \"n\": {n}, \"restarts\": {r}, \"ms\": {ms:.2} }},");
+        }
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    if quick {
+        stage_breakdown(64, 3);
+        sweep(&[32], &[1]);
+    } else {
+        stage_breakdown(200, 10);
+        sweep(&[50, 100, 200, 400], &[1, 5]);
+    }
+}

@@ -66,6 +66,44 @@ pub trait Kernel: Send + Sync {
 
     /// Clone into a boxed trait object.
     fn clone_box(&self) -> Box<dyn Kernel>;
+
+    /// Squared-distance parameterization of this kernel, if it has one.
+    ///
+    /// SE-family kernels are functions of the (per-dimension) pairwise
+    /// squared distances *only*, so during hyperparameter optimization —
+    /// where the training inputs are fixed while `theta` changes at every
+    /// line-search step — the distance matrices can be computed once per
+    /// fit and every covariance rebuild collapses to an O(n^2)
+    /// scale-and-exp (`lml::FitCache`). Kernels without this structure
+    /// (Matern, rational quadratic, compositions) return `None` and take
+    /// the generic pointwise path.
+    fn distance_form(&self) -> Option<DistanceForm> {
+        None
+    }
+}
+
+/// How a kernel depends on pairwise squared distances (see
+/// [`Kernel::distance_form`]). Values reflect the kernel's *current*
+/// hyperparameters; the structure (which variant) is invariant under
+/// `set_params`, which is what makes per-fit distance caching sound.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistanceForm {
+    /// `k = sf2 * exp(-0.5 * d2 / l^2)` over the total squared distance,
+    /// with params `[log l, log sf]`.
+    IsoSe {
+        /// Length scale `l`.
+        length_scale: f64,
+        /// Amplitude *variance* `sigma_f^2`.
+        sf2: f64,
+    },
+    /// `k = sf2 * exp(-0.5 * sum_d d2_d / l_d^2)` over per-dimension
+    /// squared distances, with params `[log l_1, ..., log l_d, log sf]`.
+    ArdSe {
+        /// Per-dimension length scales.
+        length_scales: Vec<f64>,
+        /// Amplitude *variance* `sigma_f^2`.
+        sf2: f64,
+    },
 }
 
 impl Clone for Box<dyn Kernel> {
@@ -190,6 +228,13 @@ impl Kernel for SquaredExponential {
     fn clone_box(&self) -> Box<dyn Kernel> {
         Box::new(self.clone())
     }
+
+    fn distance_form(&self) -> Option<DistanceForm> {
+        Some(DistanceForm::IsoSe {
+            length_scale: self.length_scale,
+            sf2: self.amplitude * self.amplitude,
+        })
+    }
 }
 
 /// Squared exponential with Automatic Relevance Determination: one length
@@ -295,6 +340,13 @@ impl Kernel for ArdSquaredExponential {
 
     fn clone_box(&self) -> Box<dyn Kernel> {
         Box::new(self.clone())
+    }
+
+    fn distance_form(&self) -> Option<DistanceForm> {
+        Some(DistanceForm::ArdSe {
+            length_scales: self.length_scales.clone(),
+            sf2: self.amplitude * self.amplitude,
+        })
     }
 }
 

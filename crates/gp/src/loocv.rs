@@ -53,13 +53,17 @@ pub fn loo_cv(
     ky.add_diagonal(noise_std * noise_std);
     let chol = Cholesky::decompose_jittered(&ky, 1e-10, 8)?;
     let alpha = chol.solve(y)?;
-    let kinv = chol.inverse()?;
+    // Only diag(K_y^{-1}) is needed: with K_y^{-1} = L^{-T} L^{-1},
+    // [K_y^{-1}]_ii is the squared norm of column i of L^{-1} — one forward
+    // multi-RHS solve instead of the full (deprecated) inverse.
+    let linv = chol.solve_forward_matrix(&Matrix::identity(n))?;
+    let kinv_diag = linv.col_sq_norms();
     let mut means = Vec::with_capacity(n);
     let mut stds = Vec::with_capacity(n);
     let mut lpl = 0.0;
     let mut mse = 0.0;
     for i in 0..n {
-        let kii = kinv[(i, i)];
+        let kii = kinv_diag[i];
         if kii <= 0.0 {
             return Err(LinalgError::NotPositiveDefinite {
                 pivot: i,

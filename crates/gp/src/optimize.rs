@@ -18,12 +18,13 @@
 //! problem produces (paper Figs. 4, 5b), with no line-search library needed.
 
 use crate::kernel::Kernel;
-use crate::lml;
+use crate::lml::{self, FitCache};
 use crate::model::{GpError, Gpr};
 use crate::noise::NoiseFloor;
 use alperf_linalg::{matrix::Matrix, stats::Standardizer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Configuration for [`fit_gpr`].
 #[derive(Clone)]
@@ -51,6 +52,11 @@ pub struct GprConfig {
     pub standardize: bool,
     /// RNG seed for the random restarts (deterministic runs).
     pub seed: u64,
+    /// Run the independent restarts on the rayon pool. All start points are
+    /// pre-drawn from the seeded RNG and the winner is reduced by
+    /// `(lml, restart index)`, so the outcome is bit-identical to the
+    /// serial loop (see `parallel_restarts_match_serial`).
+    pub parallel: bool,
 }
 
 impl GprConfig {
@@ -69,7 +75,15 @@ impl GprConfig {
             grad_tol: 1e-5,
             standardize: true,
             seed: 0,
+            parallel: true,
         }
+    }
+
+    /// Builder: run restarts serially (`false`) or on the rayon pool
+    /// (`true`, the default). Results are identical either way.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
     }
 
     /// Builder: set the noise floor policy.
@@ -152,35 +166,48 @@ fn ascend(
     fixed_noise: f64,
     max_iters: usize,
     grad_tol: f64,
+    cache: &FitCache,
 ) -> (Vec<f64>, f64, usize, usize) {
     let nk = kernel_template.n_params();
-    // Value-only evaluation (one Cholesky) for the line search; the O(n^3)
-    // gradient (explicit K_y^{-1}) is computed only at accepted points.
-    let eval_value = |theta: &[f64]| -> Option<f64> {
-        let mut kern = kernel_template.clone_box();
-        kern.set_params(&theta[..nk]);
-        let noise = if optimize_noise {
+    let noise_of = |theta: &[f64]| -> f64 {
+        if optimize_noise {
             theta[nk].exp()
         } else {
             fixed_noise
-        };
-        lml::lml_value(kern.as_ref(), noise, x, y).ok()
+        }
     };
-    let eval_grad = |theta: &[f64]| -> Option<(f64, Vec<f64>)> {
+    // Value evaluation (one Cholesky) for the line search, retaining the
+    // factored state; the O(n^3) gradient (lower triangle of K_y^{-1}) is
+    // computed only at accepted points, *from* the accepted candidate's
+    // state — no re-assembly or re-factorization at the same theta. Both go
+    // through the per-fit distance cache: for SE-family kernels a
+    // covariance rebuild is an O(n^2) scale-and-exp.
+    let eval_state = |theta: &[f64]| -> Option<lml::LmlState> {
         let mut kern = kernel_template.clone_box();
         kern.set_params(&theta[..nk]);
-        let noise = if optimize_noise {
-            theta[nk].exp()
-        } else {
-            fixed_noise
-        };
-        lml::lml_and_grad(kern.as_ref(), noise, x, y, optimize_noise).ok()
+        lml::lml_state_cached(kern.as_ref(), noise_of(theta), x, y, cache).ok()
+    };
+    let grad_at = |theta: &[f64], state: &lml::LmlState| -> Option<Vec<f64>> {
+        let mut kern = kernel_template.clone_box();
+        kern.set_params(&theta[..nk]);
+        lml::grad_from_state(
+            kern.as_ref(),
+            noise_of(theta),
+            x,
+            optimize_noise,
+            state,
+            cache,
+        )
+        .ok()
     };
 
     let mut theta = theta0;
     clamp_vec(&mut theta, bounds);
     let mut evals = 0usize;
-    let (mut f, mut g) = match eval_grad(&theta) {
+    let (mut f, mut g) = match eval_state(&theta).and_then(|s| {
+        let g = grad_at(&theta, &s)?;
+        Some((s.parts.lml, g))
+    }) {
         Some(v) => {
             evals += 1;
             v
@@ -203,9 +230,9 @@ fn ascend(
         if gnorm < grad_tol {
             break;
         }
-        // Backtracking line search along the projected gradient
-        // (value-only evaluations).
-        let mut accepted = false;
+        // Backtracking line search along the projected gradient; the
+        // accepted candidate's factored state feeds the gradient directly.
+        let mut accepted: Option<lml::LmlState> = None;
         let mut local_step = step;
         for _ in 0..30 {
             let mut cand: Vec<f64> = theta
@@ -218,22 +245,22 @@ fn ascend(
                 break; // fully blocked by bounds
             }
             evals += 1;
-            if let Some(fc) = eval_value(&cand) {
+            if let Some(state) = eval_state(&cand) {
+                let fc = state.parts.lml;
                 if fc > f + 1e-12 {
                     theta = cand;
                     f = fc;
-                    accepted = true;
+                    accepted = Some(state);
                     break;
                 }
             }
             local_step *= 0.5;
         }
-        if accepted {
-            // Gradient at the accepted point only.
-            match eval_grad(&theta) {
-                Some((fc, gc)) => {
+        if let Some(state) = accepted {
+            // Gradient at the accepted point only, reusing its Cholesky.
+            match grad_at(&theta, &state) {
+                Some(gc) => {
                     evals += 1;
-                    f = fc;
                     g = gc;
                 }
                 None => break,
@@ -307,33 +334,56 @@ pub fn fit_gpr(x: &Matrix, y: &[f64], config: &GprConfig) -> Result<(Gpr, OptimO
         bounds.push((noise_lo.ln(), config.noise_upper.ln()));
     }
 
+    // The distance matrices depend only on X, which is fixed for the whole
+    // multi-restart optimization: build them once and share across every
+    // LML evaluation of every restart.
+    let cache = FitCache::build(config.kernel.as_ref(), x);
+
+    // Pre-draw every start point serially from the seeded RNG (identical
+    // draw order to the historical serial loop), then run the independent
+    // ascents — in parallel when configured — and reduce in restart order,
+    // so the winner is bit-identical to the serial loop.
+    let restarts = config.restarts.max(1);
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut best: Option<(Vec<f64>, f64, usize, usize)> = None;
-    let mut total_evals = 0usize;
-    for r in 0..config.restarts.max(1) {
-        let theta0: Vec<f64> = if r == 0 {
-            let mut t = config.kernel.params();
-            if config.optimize_noise {
-                t.push(config.noise_floor.clamp(config.noise_init, x.nrows()).ln());
+    let starts: Vec<Vec<f64>> = (0..restarts)
+        .map(|r| {
+            if r == 0 {
+                let mut t = config.kernel.params();
+                if config.optimize_noise {
+                    t.push(config.noise_floor.clamp(config.noise_init, x.nrows()).ln());
+                }
+                t
+            } else {
+                bounds
+                    .iter()
+                    .map(|(lo, hi)| rng.gen_range(*lo..=*hi))
+                    .collect()
             }
-            t
-        } else {
-            bounds
-                .iter()
-                .map(|(lo, hi)| rng.gen_range(*lo..=*hi))
-                .collect()
-        };
-        let (theta, f, iters, evals) = ascend(
+        })
+        .collect();
+    let fixed_noise = config.noise_floor.clamp(config.noise_init, x.nrows());
+    let run = |theta0: Vec<f64>| {
+        ascend(
             config.kernel.as_ref(),
             x,
             &y_std,
             theta0,
             &bounds,
             config.optimize_noise,
-            config.noise_floor.clamp(config.noise_init, x.nrows()),
+            fixed_noise,
             config.max_iters,
             config.grad_tol,
-        );
+            &cache,
+        )
+    };
+    let results: Vec<(Vec<f64>, f64, usize, usize)> = if config.parallel && restarts > 1 {
+        starts.into_par_iter().map(run).collect()
+    } else {
+        starts.into_iter().map(run).collect()
+    };
+    let mut best: Option<(Vec<f64>, f64, usize, usize)> = None;
+    let mut total_evals = 0usize;
+    for (r, (theta, f, iters, evals)) in results.into_iter().enumerate() {
         total_evals += evals;
         let better = match &best {
             Some((_, bf, _, _)) => f > *bf,
@@ -539,6 +589,82 @@ mod tests {
             fit_gpr(&Matrix::zeros(0, 0), &[], &cfg),
             Err(GpError::Empty)
         ));
+    }
+
+    #[test]
+    fn parallel_restarts_match_serial() {
+        let (x, y) = noisy_data(30, 21);
+        for seed in [0u64, 7, 42] {
+            let base = GprConfig::new(Box::new(SquaredExponential::new(3.0, 0.5)))
+                .with_restarts(6)
+                .with_seed(seed);
+            let (mp, op) = fit_gpr(&x, &y, &base.clone().with_parallel(true)).unwrap();
+            let (ms, os) = fit_gpr(&x, &y, &base.with_parallel(false)).unwrap();
+            // Bit-identical outcome, not approximately equal.
+            assert_eq!(op.theta, os.theta, "seed {seed}");
+            assert!(op.lml == os.lml, "seed {seed}: {} vs {}", op.lml, os.lml);
+            assert_eq!(op.best_restart, os.best_restart, "seed {seed}");
+            assert_eq!(op.iterations, os.iterations, "seed {seed}");
+            assert_eq!(op.evaluations, os.evaluations, "seed {seed}");
+            assert_eq!(mp.noise_std(), ms.noise_std(), "seed {seed}");
+        }
+    }
+
+    /// Kernel that fails (NaN covariance -> `NonFinite` -> restart yields
+    /// `-inf`) whenever its length scale is below a threshold: random
+    /// restarts landing there fail to converge, exactly the case the
+    /// parallel reduction must handle identically to the serial loop.
+    #[derive(Clone)]
+    struct Fragile(SquaredExponential);
+
+    impl Kernel for Fragile {
+        fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+            if self.0.length_scale < 0.5 {
+                f64::NAN
+            } else {
+                self.0.eval(a, b)
+            }
+        }
+        fn n_params(&self) -> usize {
+            self.0.n_params()
+        }
+        fn params(&self) -> Vec<f64> {
+            self.0.params()
+        }
+        fn set_params(&mut self, p: &[f64]) {
+            self.0.set_params(p);
+        }
+        fn param_names(&self) -> Vec<String> {
+            self.0.param_names()
+        }
+        fn grad(&self, a: &[f64], b: &[f64]) -> Vec<f64> {
+            self.0.grad(a, b)
+        }
+        fn clone_box(&self) -> Box<dyn Kernel> {
+            Box::new(self.clone())
+        }
+        // No distance_form: exercises the generic (uncached) path.
+    }
+
+    #[test]
+    fn parallel_restarts_match_serial_with_failing_restarts() {
+        let (x, y) = noisy_data(18, 4);
+        // With l-bounds spanning [1e-5, 1e5], roughly half the random
+        // starts draw l < 0.5 and fail outright; restart 0 (l = 2) succeeds.
+        let base = GprConfig::new(Box::new(Fragile(SquaredExponential::new(2.0, 1.0))))
+            .with_restarts(8)
+            .with_seed(13);
+        let (_, op) = fit_gpr(&x, &y, &base.clone().with_parallel(true)).unwrap();
+        let (_, os) = fit_gpr(&x, &y, &base.with_parallel(false)).unwrap();
+        assert_eq!(op.theta, os.theta);
+        assert!(op.lml == os.lml);
+        assert_eq!(op.best_restart, os.best_restart);
+        assert_eq!(op.iterations, os.iterations);
+        assert_eq!(op.evaluations, os.evaluations);
+        // Sanity: failed restarts evaluate once; a run where *every*
+        // random start succeeded would need far more evaluations than the
+        // 8-restart budget actually spent here.
+        assert!(op.lml.is_finite());
     }
 
     #[test]

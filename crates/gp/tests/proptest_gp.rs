@@ -201,3 +201,116 @@ proptest! {
         prop_assert!((g1.lml() - g2.lml()).abs() < 1e-8);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Deterministic gradient and cache checks for the fast training path.
+// ---------------------------------------------------------------------------
+
+/// Fixed 2-D training set used by the gradient checks below.
+fn grad_check_data() -> (Matrix, Vec<f64>) {
+    let n = 14;
+    let x = Matrix::from_fn(n, 2, |i, j| {
+        let t = i as f64 / n as f64;
+        if j == 0 {
+            3.0 + 6.0 * t
+        } else {
+            1.2 + 1.2 * ((i * 5 % n) as f64 / n as f64)
+        }
+    });
+    let y: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.6).sin() + 0.05 * i as f64)
+        .collect();
+    (x, y)
+}
+
+/// Central finite difference of the LML in `log`-parameter `j`.
+fn fd_kernel_param(kernel: &dyn Kernel, j: usize, sn: f64, x: &Matrix, y: &[f64]) -> f64 {
+    let h = 1e-6;
+    let p0 = kernel.params();
+    let mut kp = kernel.clone_box();
+    let mut p = p0.clone();
+    p[j] += h;
+    kp.set_params(&p);
+    let up = alperf_gp::lml::lml_value(kp.as_ref(), sn, x, y).unwrap();
+    p[j] -= 2.0 * h;
+    kp.set_params(&p);
+    let dn = alperf_gp::lml::lml_value(kp.as_ref(), sn, x, y).unwrap();
+    (up - dn) / (2.0 * h)
+}
+
+/// `lml_and_grad` must match central finite differences to 1e-5 relative
+/// tolerance for the cached SE path, the cached ARD path, and a
+/// generic-path kernel — both with and without the noise gradient.
+#[test]
+fn lml_gradient_matches_central_differences_across_kernels() {
+    let (x, y) = grad_check_data();
+    let sn: f64 = 0.2;
+    let h = 1e-6;
+    let kernels: Vec<Box<dyn Kernel>> = vec![
+        Box::new(SquaredExponential::new(1.4, 0.9)),
+        Box::new(ArdSquaredExponential::new(vec![2.0, 0.8], 1.1)),
+        Box::new(Matern52::new(1.2, 1.0)),
+    ];
+    for kernel in &kernels {
+        for optimize_noise in [false, true] {
+            let (_, grad) =
+                alperf_gp::lml::lml_and_grad(kernel.as_ref(), sn, &x, &y, optimize_noise).unwrap();
+            let np = kernel.n_params();
+            assert_eq!(grad.len(), np + usize::from(optimize_noise));
+            for (j, gj) in grad.iter().take(np).enumerate() {
+                let fd = fd_kernel_param(kernel.as_ref(), j, sn, &x, &y);
+                assert!(
+                    (fd - gj).abs() <= 1e-5 * (1.0 + fd.abs()),
+                    "{} param {j}: fd={fd} analytic={gj}",
+                    kernel.param_names()[j],
+                );
+            }
+            if optimize_noise {
+                let up = alperf_gp::lml::lml_value(kernel.as_ref(), (sn.ln() + h).exp(), &x, &y)
+                    .unwrap();
+                let dn = alperf_gp::lml::lml_value(kernel.as_ref(), (sn.ln() - h).exp(), &x, &y)
+                    .unwrap();
+                let fd = (up - dn) / (2.0 * h);
+                assert!(
+                    (fd - grad[np]).abs() <= 1e-5 * (1.0 + fd.abs()),
+                    "noise grad: fd={fd} analytic={}",
+                    grad[np]
+                );
+            }
+        }
+    }
+}
+
+/// The distance-cached LML surface must agree with the pointwise one for
+/// every SE-family kernel (the optimizer uses the cached surface; public
+/// `lml_value`/`lml_and_grad` keep the pointwise assembly).
+#[test]
+fn cached_lml_and_grad_match_pointwise() {
+    use alperf_gp::lml::{
+        lml_and_grad, lml_and_grad_cached, lml_value, lml_value_cached, FitCache,
+    };
+    let (x, y) = grad_check_data();
+    let sn = 0.17;
+    let kernels: Vec<Box<dyn Kernel>> = vec![
+        Box::new(SquaredExponential::new(0.9, 1.3)),
+        Box::new(ArdSquaredExponential::new(vec![1.5, 0.6], 0.8)),
+    ];
+    for kernel in &kernels {
+        let cache = FitCache::build(kernel.as_ref(), &x);
+        assert!(cache.is_cached());
+        let v = lml_value(kernel.as_ref(), sn, &x, &y).unwrap();
+        let vc = lml_value_cached(kernel.as_ref(), sn, &x, &y, &cache).unwrap();
+        assert!(
+            (v - vc).abs() <= 1e-9 * (1.0 + v.abs()),
+            "lml: pointwise {v} vs cached {vc}"
+        );
+        let (_, g) = lml_and_grad(kernel.as_ref(), sn, &x, &y, true).unwrap();
+        let (_, gc) = lml_and_grad_cached(kernel.as_ref(), sn, &x, &y, true, &cache).unwrap();
+        for (a, b) in g.iter().zip(&gc) {
+            assert!(
+                (a - b).abs() <= 1e-8 * (1.0 + a.abs()),
+                "grad: pointwise {a} vs cached {b}"
+            );
+        }
+    }
+}

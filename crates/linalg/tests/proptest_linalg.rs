@@ -17,6 +17,33 @@ fn spd_from(b_data: Vec<f64>, n: usize) -> Matrix {
     a
 }
 
+/// Cheap deterministic `rows x cols` matrix with entries in [-1, 1)
+/// (xorshift64; proptest vectors of n^2 floats are too slow at n ~ 150).
+fn pseudo_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut s = seed | 1;
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 1.0
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data).unwrap()
+}
+
+/// Well-conditioned SPD: `B B^T / n + I` with `B` from [`pseudo_mat`].
+fn pseudo_spd(n: usize, seed: u64) -> Matrix {
+    let b = pseudo_mat(n, n, seed);
+    let mut a = b.matmul(&b.transpose()).unwrap();
+    let inv_n = 1.0 / n as f64;
+    for v in a.as_mut_slice() {
+        *v *= inv_n;
+    }
+    a.add_diagonal(1.0);
+    a
+}
+
 proptest! {
     #[test]
     fn dot_is_commutative(x in vec_strategy(17), y in vec_strategy(17)) {
@@ -129,6 +156,65 @@ proptest! {
     }
 
     #[test]
+    fn blocked_cholesky_matches_unblocked(n in 40usize..150, seed in 1u64..1_000_000) {
+        // Sizes straddle both panel boundaries (64, 128): 1, 2, or 3 panels.
+        let a = pseudo_spd(n, seed);
+        let cb = Cholesky::decompose_blocked(&a).unwrap();
+        let cu = Cholesky::decompose_unblocked(&a).unwrap();
+        let scale = cu
+            .factor()
+            .as_slice()
+            .iter()
+            .fold(1.0f64, |m, v| m.max(v.abs()));
+        let diff = cb.factor().max_abs_diff(cu.factor());
+        prop_assert!(diff <= 1e-12 * scale, "n={n} diff={diff} scale={scale}");
+    }
+
+    #[test]
+    fn blocked_cholesky_matches_unblocked_on_jittered_rank_deficient(
+        n in 80usize..140,
+        seed in 1u64..1_000_000,
+    ) {
+        // Rank-deficient Gram matrix rescued by an explicit diagonal jitter:
+        // both paths must factor it and agree to rounding amplified by the
+        // (deliberately poor) conditioning.
+        let b = pseudo_mat(n, n / 2, seed);
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        let mean_diag = a.diagonal().iter().sum::<f64>() / n as f64;
+        a.add_diagonal(1e-6 * mean_diag);
+        let cb = Cholesky::decompose_blocked(&a).unwrap();
+        let cu = Cholesky::decompose_unblocked(&a).unwrap();
+        let scale = cu
+            .factor()
+            .as_slice()
+            .iter()
+            .fold(1.0f64, |m, v| m.max(v.abs()));
+        let diff = cb.factor().max_abs_diff(cu.factor());
+        prop_assert!(diff <= 1e-8 * scale, "n={n} diff={diff} scale={scale}");
+        // Both reconstruct A to working accuracy.
+        let fro = a.frobenius_norm().max(1.0);
+        prop_assert!(cb.reconstruct().max_abs_diff(&a) <= 1e-9 * fro);
+        prop_assert!(cu.reconstruct().max_abs_diff(&a) <= 1e-9 * fro);
+    }
+
+    #[test]
+    fn jitter_ladder_rescues_rank_deficient_on_blocked_path(
+        n in 128usize..150,
+        seed in 1u64..1_000_000,
+    ) {
+        // n >= 128 exercises the blocked factorization inside the retry
+        // ladder, including the dirty-column restore between rungs.
+        let b = pseudo_mat(n, n / 3, seed);
+        let a = b.matmul(&b.transpose()).unwrap();
+        prop_assert!(Cholesky::decompose(&a).is_err());
+        let c = Cholesky::decompose_jittered(&a, 1e-10, 12).unwrap();
+        prop_assert!(c.jitter() > 0.0);
+        let fro = a.frobenius_norm().max(1.0);
+        let diff = c.reconstruct().max_abs_diff(&a);
+        prop_assert!(diff <= 1e-3 * fro, "n={n} diff={diff} fro={fro}");
+    }
+
+    #[test]
     fn linspace_is_monotone(lo in -100.0..100.0f64, span in 0.1..100.0f64, n in 2..50usize) {
         let g = vector::linspace(lo, lo + span, n);
         prop_assert_eq!(g.len(), n);
@@ -137,5 +223,22 @@ proptest! {
         }
         prop_assert!((g[0] - lo).abs() < 1e-9);
         prop_assert!((g[n - 1] - (lo + span)).abs() < 1e-9);
+    }
+}
+
+/// Exact panel-boundary orders (1 panel, boundary +/- 1, partial last
+/// panel): the blocked and unblocked factors must agree to 1e-12.
+#[test]
+fn blocked_cholesky_boundary_sizes() {
+    for &n in &[1usize, 2, 63, 64, 65, 96, 127, 128, 129, 160] {
+        let a = pseudo_spd(n, 0x5eed + n as u64);
+        let cb = Cholesky::decompose_blocked(&a).unwrap();
+        let cu = Cholesky::decompose_unblocked(&a).unwrap();
+        let diff = cb.factor().max_abs_diff(cu.factor());
+        assert!(diff <= 1e-12, "n={n}: blocked vs unblocked diff {diff}");
+        // The auto path must agree with whichever variant it dispatches to.
+        let ca = Cholesky::decompose(&a).unwrap();
+        let expect = if n >= 128 { &cb } else { &cu };
+        assert_eq!(ca.factor().as_slice(), expect.factor().as_slice(), "n={n}");
     }
 }
