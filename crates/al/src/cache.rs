@@ -70,6 +70,9 @@ impl PoolPredictionCache {
     /// Drop the cached cross-covariance (call after a hyperparameter
     /// refit). The candidate rows are kept.
     pub fn invalidate(&mut self) {
+        if self.kxt.is_some() {
+            alperf_obs::inc("al.cache.invalidate");
+        }
         self.kxt = None;
         self.params.clear();
     }
@@ -81,8 +84,11 @@ impl PoolPredictionCache {
     /// Propagates [`Gpr::predict_batch_with_cross`] failures.
     pub fn predictions(&mut self, model: &Gpr) -> Result<Vec<Prediction>, GpError> {
         if !self.is_warm_for(model) {
+            alperf_obs::inc("al.cache.rebuild");
             self.kxt = Some(model.kernel().cross_matrix(&self.x, model.x_train()));
             self.params = model.kernel().params();
+        } else {
+            alperf_obs::inc("al.cache.hit");
         }
         model.predict_batch_with_cross(&self.x, self.kxt.as_ref().expect("assembled above"))
     }
@@ -109,6 +115,7 @@ impl PoolPredictionCache {
             self.invalidate();
             return;
         }
+        alperf_obs::inc("al.cache.append");
         let xm = Matrix::from_vec(1, x_new.len(), x_new.to_vec())
             .expect("one row of x_new.len() values");
         let col = kernel.cross_matrix(&self.x, &xm);

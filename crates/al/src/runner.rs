@@ -22,6 +22,7 @@ use alperf_data::partition::Partition;
 use alperf_gp::model::{GpError, Gpr};
 use alperf_gp::optimize::{fit_gpr, GprConfig};
 use alperf_linalg::matrix::Matrix;
+use alperf_obs::Value;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -204,6 +205,27 @@ pub fn run_al(
     let mut cumulative_cost: f64 = train.iter().map(|&i| cost[i]).sum();
     let mut model: Option<Gpr> = None;
 
+    // Telemetry is strictly observational: timestamps are read and records
+    // emitted only when the global switch is on, and nothing below feeds
+    // back into the numerics — a telemetry-on run is bit-identical to a
+    // telemetry-off run (see tests/obs_determinism.rs).
+    let obs_on = alperf_obs::enabled();
+    let run_id = if obs_on { alperf_obs::next_run_id() } else { 0 };
+    if obs_on {
+        alperf_obs::record(
+            "al.run_start",
+            &[
+                ("run", Value::U64(run_id)),
+                ("strategy", Value::Str(strategy.name())),
+                ("n_initial", Value::U64(train.len() as u64)),
+                ("pool_size", Value::U64(pool.len() as u64)),
+                ("test_size", Value::U64(test.len() as u64)),
+                ("max_iters", Value::U64(config.max_iters as u64)),
+                ("seed", Value::U64(config.seed)),
+            ],
+        );
+    }
+
     // Batched-prediction caches over the pool and the (fixed) test set.
     // Between hyperparameter refits these maintain K(candidates, train)
     // incrementally — one appended column per iteration — instead of
@@ -218,6 +240,12 @@ pub fn run_al(
         }
         let xs = x_all.select_rows(&train);
         let ys: Vec<f64> = train.iter().map(|&i| y_all[i]).collect();
+        let t_fit = if obs_on {
+            alperf_obs::clock::monotonic_ns()
+        } else {
+            0
+        };
+        let refit_kind;
         // Re-optimize hyperparameters on schedule; while the training set
         // is small every new point reshapes the LML, so always optimize.
         let optimize_now =
@@ -251,6 +279,7 @@ pub fn run_al(
                 cfg.grad_tol = cfg.grad_tol.max(1e-4);
                 cfg
             };
+            refit_kind = if full_search { "full" } else { "warm" };
             let (m, outcome) = fit_gpr(&xs, &ys, &cfg)?;
             warm_theta = Some(outcome.theta);
             model = Some(m);
@@ -272,8 +301,12 @@ pub fn run_al(
                 None
             };
             model = Some(match incremental {
-                Some(m) => m,
+                Some(m) => {
+                    refit_kind = "rank1";
+                    m
+                }
                 None => {
+                    refit_kind = "refit";
                     let prev = model.as_ref().expect("model exists");
                     let kernel = prev.kernel().clone_box();
                     let noise = prev.noise_std();
@@ -281,6 +314,11 @@ pub fn run_al(
                 }
             });
         }
+        let fit_ns = if obs_on {
+            alperf_obs::clock::monotonic_ns() - t_fit
+        } else {
+            0
+        };
         let m = model.as_ref().expect("model fitted above");
         if optimize_now {
             // Hyperparameters may have moved: the cached cross-covariances
@@ -292,6 +330,12 @@ pub fn run_al(
         // Batched predictions over the pool and the test set: one blocked
         // cross-covariance + multi-RHS solve each instead of a per-point
         // loop of O(n^2) scalar solves.
+        let cache_warm = obs_on && pool_cache.is_warm_for(m);
+        let t_predict = if obs_on {
+            alperf_obs::clock::monotonic_ns()
+        } else {
+            0
+        };
         let predictions = pool_cache.predictions(m)?;
         let rmse = if test.is_empty() {
             0.0
@@ -307,6 +351,11 @@ pub fn run_al(
                 .sum();
             (se / test.len() as f64).sqrt()
         };
+        let predict_ns = if obs_on {
+            alperf_obs::clock::monotonic_ns() - t_predict
+        } else {
+            0
+        };
         // AMSD folded directly — no per-iteration Vec of SDs.
         let amsd = predictions.iter().map(|p| p.std).sum::<f64>() / predictions.len() as f64;
         // Strategy picks.
@@ -318,11 +367,46 @@ pub fn run_al(
             pool: &pool,
             predictions: &predictions,
         };
+        let t_select = if obs_on {
+            alperf_obs::clock::monotonic_ns()
+        } else {
+            0
+        };
         let Some(pos) = strategy.select(&ctx, &mut rng) else {
             break;
         };
+        let select_ns = if obs_on {
+            alperf_obs::clock::monotonic_ns() - t_select
+        } else {
+            0
+        };
         let row = pool[pos];
         cumulative_cost += cost[row];
+        if obs_on {
+            alperf_obs::record(
+                "al.iteration",
+                &[
+                    ("run", Value::U64(run_id)),
+                    ("iter", Value::U64(iter as u64)),
+                    ("chosen_row", Value::U64(row as u64)),
+                    ("pool_size", Value::U64(pool.len() as u64)),
+                    ("refit", Value::Str(refit_kind)),
+                    ("fit_ns", Value::U64(fit_ns)),
+                    ("predict_ns", Value::U64(predict_ns)),
+                    ("select_ns", Value::U64(select_ns)),
+                    ("cache_warm", Value::Bool(cache_warm)),
+                    ("sigma", Value::F64(predictions[pos].std)),
+                    ("amsd", Value::F64(amsd)),
+                    ("rmse", Value::F64(rmse)),
+                    ("cum_cost", Value::F64(cumulative_cost)),
+                    ("lml", Value::F64(m.lml())),
+                    ("noise", Value::F64(m.noise_std())),
+                ],
+            );
+            alperf_obs::histogram("al.iteration.fit").record(fit_ns);
+            alperf_obs::histogram("al.iteration.predict").record(predict_ns);
+            alperf_obs::inc("al.iterations");
+        }
         history.push(IterationRecord {
             iter,
             chosen_row: row,

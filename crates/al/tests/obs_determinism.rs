@@ -1,0 +1,90 @@
+//! Determinism guard: telemetry must be strictly observational.
+//!
+//! Runs the same small AL experiment with telemetry off and then fully on
+//! (global switch + JSONL trace sink), same seed, and requires the
+//! *bit-identical* histories — RMSE/AMSD/sigma_f traces, selected-candidate
+//! sequence, costs, LML, noise — via `IterationRecord`'s `PartialEq`.
+//! This is the contract that lets instrumentation live inside the hot
+//! numeric paths: a telemetry-on run may only be slower, never different.
+//!
+//! Lives in its own integration-test binary because it flips the global
+//! telemetry switch; unit tests in the same process would race it.
+
+use alperf_al::runner::{run_al, AlConfig, AlRun};
+use alperf_al::strategy::VarianceReduction;
+use alperf_data::partition::Partition;
+use alperf_gp::kernel::SquaredExponential;
+use alperf_gp::noise::NoiseFloor;
+use alperf_gp::optimize::GprConfig;
+use alperf_linalg::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dataset(n: usize, seed: u64) -> (Matrix, Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<f64> = (0..n).map(|i| i as f64 * 8.0 / n as f64).collect();
+    let y: Vec<f64> = xs
+        .iter()
+        .map(|v| v.sin() * 2.0 + rng.gen_range(-0.15..0.15))
+        .collect();
+    let cost: Vec<f64> = xs.iter().map(|v| 1.0 + v * v).collect();
+    (Matrix::from_vec(n, 1, xs).unwrap(), y, cost)
+}
+
+fn run_once() -> AlRun {
+    let (x, y, cost) = dataset(40, 11);
+    let part = Partition::random(40, 2, 0.8, 5);
+    let gpr = GprConfig::new(Box::new(SquaredExponential::unit()))
+        .with_noise_floor(NoiseFloor::Fixed(0.05))
+        .with_restarts(2)
+        .with_seed(7);
+    let cfg = AlConfig {
+        max_iters: 12,
+        seed: 3,
+        ..AlConfig::new(gpr)
+    };
+    run_al(&x, &y, &cost, &part, &mut VarianceReduction, &cfg).unwrap()
+}
+
+// One #[test] only: the global telemetry switch is process-wide, and the
+// default multi-threaded test runner would race two tests flipping it.
+#[test]
+fn telemetry_on_is_bit_identical_to_telemetry_off() {
+    // Baseline: telemetry fully off.
+    alperf_obs::set_enabled(false);
+    let off = run_once();
+
+    // Telemetry fully on: global switch, JSONL trace, metrics registry.
+    let trace = std::env::temp_dir().join(format!(
+        "alperf_obs_determinism_{}.jsonl",
+        std::process::id()
+    ));
+    alperf_obs::sink::install_jsonl(&trace).unwrap();
+    alperf_obs::set_enabled(true);
+    let on = run_once();
+    // Second telemetry-on run: run ids differ, numerics must not.
+    let on2 = run_once();
+    alperf_obs::set_enabled(false);
+    alperf_obs::sink::uninstall();
+
+    // Bit-identical, not approximately equal: PartialEq on f64 fields.
+    assert_eq!(off.history, on.history);
+    assert_eq!(off.final_train, on.final_train);
+    let off_rows: Vec<usize> = off.history.iter().map(|r| r.chosen_row).collect();
+    let on_rows: Vec<usize> = on.history.iter().map(|r| r.chosen_row).collect();
+    assert_eq!(off_rows, on_rows, "selected-candidate sequence diverged");
+
+    // The telemetry-on run actually produced telemetry.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    std::fs::remove_file(&trace).ok();
+    assert!(text.lines().count() > off.history.len());
+    assert!(
+        text.lines().any(|l| l.contains("\"al.iteration\"")),
+        "trace has no al.iteration records"
+    );
+    assert!(
+        alperf_obs::counter("al.iterations").get() >= on.history.len() as u64,
+        "iteration counter did not advance"
+    );
+    assert_eq!(on.history, on2.history, "telemetry-on runs diverged");
+}

@@ -1,0 +1,116 @@
+//! Criterion benches for the observability layer itself: the cost of one
+//! disabled instrumentation site (the relaxed-atomic fast path every hot
+//! loop now pays), one enabled span (clock reads + histogram record), and
+//! the end-to-end fit/predict overhead with telemetry off vs. on. The
+//! <2% regression budget is enforced by `src/bin/obs_overhead.rs`; these
+//! benches are the microscope.
+
+use alperf_gp::kernel::SquaredExponential;
+use alperf_gp::model::Gpr;
+use alperf_gp::noise::NoiseFloor;
+use alperf_gp::optimize::{fit_gpr, GprConfig};
+use alperf_linalg::matrix::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn training_data(n: usize) -> (Matrix, Vec<f64>) {
+    let x = Matrix::from_fn(n, 2, |i, j| {
+        if j == 0 {
+            3.0 + 6.0 * (i as f64 / n as f64)
+        } else {
+            1.2 + 1.2 * ((i * 7 % n) as f64 / n as f64)
+        }
+    });
+    let y: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.1).sin() + i as f64 * 0.01)
+        .collect();
+    (x, y)
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_primitives");
+    g.sample_size(10);
+    alperf_obs::set_enabled(false);
+    g.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let _s = alperf_obs::span(black_box("bench.noop"));
+        })
+    });
+    g.bench_function("counter_disabled", |b| {
+        b.iter(|| alperf_obs::inc(black_box("bench.noop")))
+    });
+    alperf_obs::set_enabled(true);
+    g.bench_function("span_enabled", |b| {
+        b.iter(|| {
+            let _s = alperf_obs::span(black_box("bench.noop"));
+        })
+    });
+    let counter = alperf_obs::counter("bench.noop");
+    g.bench_function("counter_enabled_cached_handle", |b| {
+        b.iter(|| counter.inc())
+    });
+    let hist = alperf_obs::histogram("bench.noop_ns");
+    g.bench_function("histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(977);
+            hist.record(black_box(v % 1_000_000))
+        })
+    });
+    alperf_obs::set_enabled(false);
+    g.finish();
+}
+
+fn bench_fit_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_fit_overhead");
+    g.sample_size(10);
+    let (x, y) = training_data(200);
+    let cfg = GprConfig::new(Box::new(SquaredExponential::unit()))
+        .with_noise_floor(NoiseFloor::recommended())
+        .with_restarts(2);
+    for (label, on) in [("disabled", false), ("enabled", true)] {
+        alperf_obs::set_enabled(on);
+        g.bench_function(BenchmarkId::new("fit_n200", label), |b| {
+            b.iter(|| fit_gpr(black_box(&x), black_box(&y), &cfg).expect("fit"))
+        });
+    }
+    alperf_obs::set_enabled(false);
+    g.finish();
+}
+
+fn bench_predict_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_predict_overhead");
+    g.sample_size(10);
+    let (x, y) = training_data(200);
+    let gpr = Gpr::fit(
+        x,
+        &y,
+        Box::new(SquaredExponential::new(1.0, 1.0)),
+        0.1,
+        true,
+    )
+    .expect("fit");
+    let pool = Matrix::from_fn(1024, 2, |i, j| {
+        if j == 0 {
+            3.0 + 6.0 * ((i * 13 % 1024) as f64 / 1024.0)
+        } else {
+            1.2 + 1.2 * ((i * 29 % 1024) as f64 / 1024.0)
+        }
+    });
+    for (label, on) in [("disabled", false), ("enabled", true)] {
+        alperf_obs::set_enabled(on);
+        g.bench_function(BenchmarkId::new("predict_pool1024", label), |b| {
+            b.iter(|| gpr.predict_batch(black_box(&pool)).expect("predict"))
+        });
+    }
+    alperf_obs::set_enabled(false);
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_primitives,
+    bench_fit_overhead,
+    bench_predict_overhead
+);
+criterion_main!(benches);

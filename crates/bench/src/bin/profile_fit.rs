@@ -1,12 +1,18 @@
 //! Stage-by-stage profiler for the GPR training path plus the
-//! `BENCH_gpr_fit.json` sweep.
+//! `BENCH_gpr_fit.json` sweep — a thin consumer of `alperf-obs` span
+//! aggregates.
 //!
 //! Usage:
 //!   profile_fit            # stage breakdown at n=200 + full sweep
 //!   profile_fit --quick    # tiny sizes / few reps (CI smoke run)
 //!
-//! All timings are min-over-repeats (`best`), the right statistic on a
-//! noisy shared VM: the minimum is the run least disturbed by neighbors.
+//! The bin no longer times anything itself: it switches telemetry on, runs
+//! each stage under a span, and reads the per-span histograms out of the
+//! global registry. Library-internal spans (`linalg.cholesky`,
+//! `gp.lml_eval`, `gp.lml_grad`, `gp.fit.restart`, ...) land in the same
+//! table for free. Reported minima are exact (the histogram keeps raw
+//! min/max beside the bucketized quantiles) — min-over-reps remains the
+//! right statistic on a noisy shared VM.
 
 use alperf_gp::kernel::SquaredExponential;
 use alperf_gp::lml::{self, FitCache};
@@ -15,16 +21,18 @@ use alperf_gp::optimize::{fit_gpr, GprConfig};
 use alperf_linalg::cholesky::Cholesky;
 use alperf_linalg::matrix::Matrix;
 use std::hint::black_box;
-use std::time::Instant;
 
-fn best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
+/// Run `f` `reps` times, each under a fresh `name` span.
+fn timed<F: FnMut()>(name: &'static str, reps: usize, mut f: F) {
     for _ in 0..reps {
-        let t = Instant::now();
+        let _s = alperf_obs::span(name);
         f();
-        best = best.min(t.elapsed().as_secs_f64() * 1e3);
     }
-    best
+}
+
+/// Exact minimum of a span's recorded durations, in milliseconds.
+fn span_min_ms(name: &str) -> f64 {
+    alperf_obs::histogram(name).stats().min_ns as f64 / 1e6
 }
 
 /// Synthetic 2-D training set matching the shape of the paper's
@@ -55,71 +63,46 @@ fn stage_breakdown(n: usize, reps: usize) {
     let kernel = SquaredExponential::new(1.0, 1.0);
     let sn = 0.1;
     let cache = FitCache::build(&kernel, &x);
+    alperf_obs::registry().reset();
 
-    println!("== stage breakdown at n={n} (ms, min of {reps}) ==");
-    println!(
-        "K pointwise : {:9.3}",
-        best(reps, || {
-            black_box(lml::assemble_covariance(&kernel, &x));
-        })
-    );
+    timed("profile.assemble_k", reps, || {
+        black_box(lml::assemble_covariance(&kernel, &x));
+    });
     let mut ky = lml::assemble_covariance(&kernel, &x);
     ky.add_diagonal(sn * sn);
-    println!(
-        "chol unblk  : {:9.3}",
-        best(reps, || {
-            black_box(Cholesky::decompose_unblocked(&ky).unwrap());
-        })
-    );
-    println!(
-        "chol blocked: {:9.3}",
-        best(reps, || {
-            black_box(Cholesky::decompose_blocked(&ky).unwrap());
-        })
-    );
-    println!(
-        "lml pointwse: {:9.3}",
-        best(reps, || {
-            black_box(lml::lml_value(&kernel, sn, &x, &y).unwrap());
-        })
-    );
-    println!(
-        "lml cached  : {:9.3}",
-        best(reps, || {
-            black_box(lml::lml_value_cached(&kernel, sn, &x, &y, &cache).unwrap());
-        })
-    );
-    println!(
-        "grad pointws: {:9.3}",
-        best(reps, || {
-            black_box(lml::lml_and_grad(&kernel, sn, &x, &y, true).unwrap());
-        })
-    );
-    println!(
-        "grad cached : {:9.3}",
-        best(reps, || {
-            black_box(lml::lml_and_grad_cached(&kernel, sn, &x, &y, true, &cache).unwrap());
-        })
-    );
+    timed("profile.chol_unblocked", reps, || {
+        black_box(Cholesky::decompose_unblocked(&ky).unwrap());
+    });
+    timed("profile.chol_blocked", reps, || {
+        black_box(Cholesky::decompose_blocked(&ky).unwrap());
+    });
+    timed("profile.lml_pointwise", reps, || {
+        black_box(lml::lml_value(&kernel, sn, &x, &y).unwrap());
+    });
+    timed("profile.lml_cached", reps, || {
+        black_box(lml::lml_value_cached(&kernel, sn, &x, &y, &cache).unwrap());
+    });
+    timed("profile.grad_pointwise", reps, || {
+        black_box(lml::lml_and_grad(&kernel, sn, &x, &y, true).unwrap());
+    });
+    timed("profile.grad_cached", reps, || {
+        black_box(lml::lml_and_grad_cached(&kernel, sn, &x, &y, true, &cache).unwrap());
+    });
     // End-to-end single ascent (restarts=1) with/without parallel dispatch.
-    println!(
-        "fit r=1     : {:9.3}",
-        best(reps.min(5), || {
-            black_box(fit_gpr(&x, &y, &fit_config(1)).unwrap());
-        })
-    );
-    println!(
-        "fit r=5 ser : {:9.3}",
-        best(reps.min(3), || {
-            black_box(fit_gpr(&x, &y, &fit_config(5).with_parallel(false)).unwrap());
-        })
-    );
-    println!(
-        "fit r=5 par : {:9.3}",
-        best(reps.min(3), || {
-            black_box(fit_gpr(&x, &y, &fit_config(5)).unwrap());
-        })
-    );
+    timed("profile.fit_r1", reps.min(5), || {
+        black_box(fit_gpr(&x, &y, &fit_config(1)).unwrap());
+    });
+    timed("profile.fit_r5_serial", reps.min(3), || {
+        black_box(fit_gpr(&x, &y, &fit_config(5).with_parallel(false)).unwrap());
+    });
+    timed("profile.fit_r5_parallel", reps.min(3), || {
+        black_box(fit_gpr(&x, &y, &fit_config(5)).unwrap());
+    });
+
+    // The report IS the registry: bin-side stage spans and library-internal
+    // spans (linalg.cholesky, gp.lml_eval, gp.fit.restart, ...) side by side.
+    println!("== span aggregates at n={n} ({reps} reps; ms; min is exact) ==");
+    print!("{}", alperf_obs::registry().summary_table());
 }
 
 fn sweep(sizes: &[usize], restart_counts: &[usize]) {
@@ -128,15 +111,20 @@ fn sweep(sizes: &[usize], restart_counts: &[usize]) {
         let (x, y) = training_data(n);
         for &r in restart_counts {
             let reps = if n >= 400 { 3 } else { 5 };
-            let ms = best(reps, || {
+            // One histogram per configuration: reset the library's gp.fit
+            // span between configs so its min reflects only this (n, r).
+            alperf_obs::histogram("gp.fit").reset();
+            for _ in 0..reps {
                 black_box(fit_gpr(&x, &y, &fit_config(r)).unwrap());
-            });
+            }
+            let ms = span_min_ms("gp.fit");
             println!("{{ \"n\": {n}, \"restarts\": {r}, \"ms\": {ms:.2} }},");
         }
     }
 }
 
 fn main() {
+    alperf_obs::set_enabled(true);
     let quick = std::env::args().any(|a| a == "--quick");
     if quick {
         stage_breakdown(64, 3);

@@ -1,22 +1,26 @@
+//! Stage-by-stage profiler for the batched prediction path — a thin
+//! consumer of `alperf-obs` span aggregates: every stage runs under a span
+//! and the report is read back from the global registry (exact minima, plus
+//! bucketized p50/p99), alongside the library's own `gp.predict_batch`
+//! span.
+
 use alperf_gp::kernel::Kernel;
 use alperf_gp::kernel::SquaredExponential;
 use alperf_gp::model::Gpr;
 use alperf_linalg::matrix::Matrix;
 use alperf_linalg::triangular::{solve_lower_matrix, solve_lower_rhs_rows};
 use std::hint::black_box;
-use std::time::Instant;
 
-fn best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
+/// Run `f` `reps` times, each under a fresh `name` span.
+fn timed<F: FnMut()>(name: &'static str, reps: usize, mut f: F) {
     for _ in 0..reps {
-        let t = Instant::now();
+        let _s = alperf_obs::span(name);
         f();
-        best = best.min(t.elapsed().as_secs_f64() * 1e3);
     }
-    best
 }
 
 fn main() {
+    alperf_obs::set_enabled(true);
     let n = 200usize;
     let m = 1024usize;
     let x = Matrix::from_fn(n, 2, |i, j| {
@@ -57,67 +61,41 @@ fn main() {
     });
     let alpha = vec![0.01; n];
 
-    println!(
-        "crossK   : {:8.3} ms",
-        best(20, || {
-            black_box(kern.cross_matrix(&pool, &x));
-        })
-    );
-    println!(
-        "transp   : {:8.3} ms",
-        best(20, || {
-            black_box(kxt.transpose());
-        })
-    );
-    println!(
-        "solveM   : {:8.3} ms",
-        best(20, || {
-            black_box(solve_lower_matrix(&l, &b).unwrap());
-        })
-    );
-    println!(
-        "solveRows: {:8.3} ms",
-        best(20, || {
-            black_box(solve_lower_rhs_rows(&l, &kxt).unwrap());
-        })
-    );
-    println!(
-        "matvec   : {:8.3} ms",
-        best(20, || {
-            black_box(kxt.matvec(&alpha).unwrap());
-        })
-    );
-    println!(
-        "rownorms : {:8.3} ms",
-        best(20, || {
-            black_box(kxt.row_sq_norms());
-        })
-    );
-    println!(
-        "cross+slv: {:8.3} ms",
-        best(20, || {
-            let k = kern.cross_matrix(&pool, &x);
-            black_box(solve_lower_rhs_rows(&l, &k).unwrap());
-        })
-    );
-    println!(
-        "batchcr  : {:8.3} ms",
-        best(20, || {
-            black_box(gpr.predict_batch_with_cross(&pool, &kxt).unwrap());
-        })
-    );
-    println!(
-        "batch    : {:8.3} ms",
-        best(20, || {
-            black_box(gpr.predict_batch(&pool).unwrap());
-        })
-    );
-    println!(
-        "loop     : {:8.3} ms",
-        best(5, || {
-            for i in 0..m {
-                black_box(gpr.predict_one(pool.row(i)).unwrap());
-            }
-        })
-    );
+    alperf_obs::registry().reset();
+    timed("profile.cross_k", 20, || {
+        black_box(kern.cross_matrix(&pool, &x));
+    });
+    timed("profile.transpose", 20, || {
+        black_box(kxt.transpose());
+    });
+    timed("profile.solve_matrix", 20, || {
+        black_box(solve_lower_matrix(&l, &b).unwrap());
+    });
+    timed("profile.solve_rhs_rows", 20, || {
+        black_box(solve_lower_rhs_rows(&l, &kxt).unwrap());
+    });
+    timed("profile.matvec", 20, || {
+        black_box(kxt.matvec(&alpha).unwrap());
+    });
+    timed("profile.row_sq_norms", 20, || {
+        black_box(kxt.row_sq_norms());
+    });
+    timed("profile.cross_plus_solve", 20, || {
+        let k = kern.cross_matrix(&pool, &x);
+        black_box(solve_lower_rhs_rows(&l, &k).unwrap());
+    });
+    timed("profile.batch_with_cross", 20, || {
+        black_box(gpr.predict_batch_with_cross(&pool, &kxt).unwrap());
+    });
+    timed("profile.batch", 20, || {
+        black_box(gpr.predict_batch(&pool).unwrap());
+    });
+    timed("profile.loop_predict_one", 5, || {
+        for i in 0..m {
+            black_box(gpr.predict_one(pool.row(i)).unwrap());
+        }
+    });
+
+    println!("== span aggregates (train n={n}, pool m={m}; ms; min is exact) ==");
+    print!("{}", alperf_obs::registry().summary_table());
 }

@@ -91,6 +91,54 @@ pub fn banner(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Enable telemetry from the environment, if requested.
+///
+/// * `ALPERF_OBS_TRACE=<path>` — install a JSONL trace sink at `<path>`
+///   and switch instrumentation on.
+/// * `ALPERF_OBS_SNAPSHOT=<path>` — write a Prometheus-style metrics
+///   snapshot to `<path>` at [`obs_finish`]; also switches
+///   instrumentation on.
+///
+/// Returns `true` when telemetry was enabled. Call [`obs_finish`] before
+/// exiting so the trace is flushed and the snapshot written.
+pub fn obs_from_env() -> bool {
+    let trace = std::env::var("ALPERF_OBS_TRACE")
+        .ok()
+        .filter(|p| !p.is_empty());
+    let snapshot = std::env::var("ALPERF_OBS_SNAPSHOT")
+        .ok()
+        .filter(|p| !p.is_empty());
+    if trace.is_none() && snapshot.is_none() {
+        return false;
+    }
+    if let Some(path) = trace {
+        let p = std::path::Path::new(&path);
+        if let Some(dir) = p.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create trace directory");
+        }
+        alperf_obs::sink::install_jsonl(p).expect("install JSONL trace sink");
+        eprintln!("(telemetry: JSONL trace -> {path})");
+    }
+    alperf_obs::set_enabled(true);
+    true
+}
+
+/// Flush the telemetry trace and write the Prometheus snapshot, if
+/// `ALPERF_OBS_SNAPSHOT` names a path. No-op when telemetry is off.
+pub fn obs_finish() {
+    if !alperf_obs::enabled() {
+        return;
+    }
+    alperf_obs::sink::flush();
+    if let Ok(path) = std::env::var("ALPERF_OBS_SNAPSHOT") {
+        if !path.is_empty() {
+            std::fs::write(&path, alperf_obs::registry().prometheus_snapshot())
+                .expect("write metrics snapshot");
+            eprintln!("(telemetry: metrics snapshot -> {path})");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,6 +11,7 @@
 use crate::job::JobRequest;
 use crate::power::{PowerSample, PowerSampler};
 use alperf_hpgmg::model::PerfModel;
+use alperf_obs::{Clock, SystemClock};
 use crossbeam::channel;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -38,6 +39,8 @@ pub fn measure_all(
     campaign_seed: u64,
     workers: usize,
 ) -> Vec<Measurement> {
+    let _span = alperf_obs::span("cluster.measure_batch");
+    alperf_obs::add("cluster.jobs", requests.len() as u64);
     let workers = workers.max(1);
     let (tx, rx) = channel::unbounded::<usize>();
     for idx in 0..requests.len() {
@@ -66,7 +69,48 @@ pub fn measure_all(
 }
 
 /// Measure a single job with its identity-derived RNG.
+///
+/// When telemetry is enabled the measurement is timed through the shared
+/// [`SystemClock`] and recorded to the `cluster.measure_job` histogram;
+/// when disabled no clock is read at all. Tests that need deterministic
+/// wall-clock durations call [`measure_one_timed`] with a
+/// [`alperf_obs::FakeClock`] instead.
 pub fn measure_one(
+    model: &PerfModel,
+    sampler: &PowerSampler,
+    request: &JobRequest,
+    idx: usize,
+    campaign_seed: u64,
+) -> Measurement {
+    if alperf_obs::enabled() {
+        let (m, dur_ns) =
+            measure_one_timed(&SystemClock, model, sampler, request, idx, campaign_seed);
+        alperf_obs::histogram("cluster.measure_job").record(dur_ns);
+        m
+    } else {
+        measure_one_untimed(model, sampler, request, idx, campaign_seed)
+    }
+}
+
+/// [`measure_one`] with an injected [`Clock`]: always times the measurement
+/// through `clock` and returns `(measurement, wall_ns)`. The measurement
+/// itself is a pure function of the request identity — the clock only
+/// observes, so the returned `Measurement` is identical to
+/// [`measure_one`]'s for the same inputs.
+pub fn measure_one_timed(
+    clock: &dyn Clock,
+    model: &PerfModel,
+    sampler: &PowerSampler,
+    request: &JobRequest,
+    idx: usize,
+    campaign_seed: u64,
+) -> (Measurement, u64) {
+    let start = clock.now_ns();
+    let m = measure_one_untimed(model, sampler, request, idx, campaign_seed);
+    (m, clock.now_ns().saturating_sub(start))
+}
+
+fn measure_one_untimed(
     model: &PerfModel,
     sampler: &PowerSampler,
     request: &JobRequest,
@@ -154,6 +198,22 @@ mod tests {
         let a = measure_all(&model, &sampler, &reqs, 1, 2);
         let b = measure_all(&model, &sampler, &reqs, 2, 2);
         assert_ne!(a[0].runtime, b[0].runtime);
+    }
+
+    #[test]
+    fn injected_clock_times_measurement_deterministically() {
+        // The wall-clock is routed through the Clock trait so tests can
+        // inject a fake: two reads of a FakeClock stepping 5 ms apart must
+        // yield exactly 5 ms, and the measurement must be bit-identical to
+        // the untimed path (the clock observes, never perturbs).
+        let model = PerfModel::calibrated();
+        let sampler = PowerSampler::default();
+        let req = requests(1).pop().unwrap();
+        let clock = alperf_obs::FakeClock::with_step(5_000_000);
+        let (timed, dur_ns) = measure_one_timed(&clock, &model, &sampler, &req, 0, 3);
+        assert_eq!(dur_ns, 5_000_000);
+        let plain = measure_one(&model, &sampler, &req, 0, 3);
+        assert_eq!(timed, plain);
     }
 
     #[test]

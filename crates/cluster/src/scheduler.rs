@@ -70,6 +70,7 @@ pub struct Schedule {
 /// Panics if a job needs more nodes than the cluster has, or input lengths
 /// differ.
 pub fn schedule_batch(model: &PerfModel, requests: &[JobRequest], runtimes: &[f64]) -> Schedule {
+    let _span = alperf_obs::span("cluster.schedule_batch");
     assert_eq!(requests.len(), runtimes.len(), "schedule: length mismatch");
     let total_nodes = model.machine.nodes;
     let mut queue: Vec<Queued> = requests
@@ -176,6 +177,7 @@ fn earliest_start(now: f64, free: usize, need: usize, running: &BinaryHeap<Compl
 /// Convenience: build full job records by scheduling a batch and attaching
 /// measured runtimes (energy filled in later by the campaign layer).
 pub fn run_batch(model: &PerfModel, requests: &[JobRequest], runtimes: &[f64]) -> Vec<JobRecord> {
+    let _span = alperf_obs::span("cluster.run_batch");
     let sched = schedule_batch(model, requests, runtimes);
     requests
         .iter()

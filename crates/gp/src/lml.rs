@@ -326,6 +326,7 @@ pub fn lml_state_cached(
     y: &[f64],
     cache: &FitCache,
 ) -> Result<LmlState, LinalgError> {
+    let _span = alperf_obs::span("gp.lml_eval");
     let (parts, ky) = lml_parts_full(kernel, noise_std, x, y, cache)?;
     Ok(LmlState { parts, ky })
 }
@@ -343,6 +344,7 @@ pub fn grad_from_state(
     state: &LmlState,
     cache: &FitCache,
 ) -> Result<Vec<f64>, LinalgError> {
+    let _span = alperf_obs::span("gp.lml_grad");
     let parts = &state.parts;
     let ky = &state.ky;
     let n = x.nrows();

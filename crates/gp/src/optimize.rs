@@ -299,6 +299,7 @@ fn ascend(
 /// Propagates fit errors ([`GpError`]); if *every* restart fails to produce
 /// a finite LML the error from the final refit is returned.
 pub fn fit_gpr(x: &Matrix, y: &[f64], config: &GprConfig) -> Result<(Gpr, OptimOutcome), GpError> {
+    let _span = alperf_obs::span("gp.fit");
     if x.nrows() == 0 {
         return Err(GpError::Empty);
     }
@@ -363,6 +364,7 @@ pub fn fit_gpr(x: &Matrix, y: &[f64], config: &GprConfig) -> Result<(Gpr, OptimO
         .collect();
     let fixed_noise = config.noise_floor.clamp(config.noise_init, x.nrows());
     let run = |theta0: Vec<f64>| {
+        let _restart_span = alperf_obs::span("gp.fit.restart");
         ascend(
             config.kernel.as_ref(),
             x,
@@ -394,6 +396,7 @@ pub fn fit_gpr(x: &Matrix, y: &[f64], config: &GprConfig) -> Result<(Gpr, OptimO
         }
     }
 
+    alperf_obs::add("gp.fit.lml_evaluations", total_evals as u64);
     let (theta, lml, best_restart, iterations) = best.ok_or_else(|| {
         GpError::Dimension("all optimizer restarts failed to produce a finite LML".into())
     })?;

@@ -265,6 +265,7 @@ impl Cholesky {
         first_jitter: f64,
         max_tries: usize,
     ) -> Result<Self, LinalgError> {
+        let _span = alperf_obs::span("linalg.cholesky");
         validate(a)?;
         let n = a.nrows();
         let mean_diag = if n == 0 {
@@ -292,6 +293,7 @@ impl Cholesky {
             match res {
                 Ok(()) => return Ok(Cholesky { l, jitter }),
                 Err((e @ LinalgError::NotPositiveDefinite { .. }, d)) => {
+                    alperf_obs::inc("linalg.cholesky.jitter_retry");
                     dirty = d;
                     last_err = Some(e);
                 }

@@ -1,0 +1,136 @@
+//! Hierarchical spans with thread-local span stacks.
+//!
+//! [`crate::span`] returns a guard; the time between construction and drop
+//! is recorded into the histogram of the same name and, when a JSONL sink
+//! is installed, emitted as a `span` event whose `parent` is whatever span
+//! was open on the same thread at entry. When telemetry is disabled the
+//! guard is inert — constructed without touching the clock, the
+//! thread-local stack, or the registry.
+//!
+//! Parentage is per-thread: a span opened inside a rayon worker does not
+//! see the spawning thread's stack (it becomes a root span on the worker).
+//! That is the honest answer for fork-join work and keeps the fast path
+//! free of any cross-thread bookkeeping.
+
+use crate::clock::monotonic_ns;
+use std::cell::RefCell;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost open span on this thread, if any.
+pub fn current() -> Option<&'static str> {
+    STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Guard for one span. Records on drop; inert when telemetry was disabled
+/// at entry (a flip mid-span keeps the entry decision, preserving stack
+/// balance).
+#[must_use = "a span measures the time until the guard is dropped"]
+pub struct SpanGuard {
+    name: &'static str,
+    start_ns: u64,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// A guard that does nothing on drop.
+    #[inline]
+    pub(crate) fn inert(name: &'static str) -> SpanGuard {
+        SpanGuard {
+            name,
+            start_ns: 0,
+            active: false,
+        }
+    }
+
+    /// Open a live span: push onto this thread's stack and stamp the
+    /// start time.
+    pub(crate) fn enter(name: &'static str) -> SpanGuard {
+        STACK.with(|s| s.borrow_mut().push(name));
+        SpanGuard {
+            name,
+            start_ns: monotonic_ns(),
+            active: true,
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let dur = monotonic_ns().saturating_sub(self.start_ns);
+        let parent = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            stack.pop();
+            stack.last().copied()
+        });
+        crate::registry::global().histogram(self.name).record(dur);
+        crate::sink::emit_span(self.name, parent, self.start_ns, dur);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_tracks_parentage() {
+        let _l = crate::tests::TEST_LOCK.lock();
+        crate::set_enabled(true);
+        assert_eq!(current(), None);
+        {
+            let _outer = crate::span("test.span.outer");
+            assert_eq!(current(), Some("test.span.outer"));
+            {
+                let _inner = crate::span("test.span.inner");
+                assert_eq!(current(), Some("test.span.inner"));
+            }
+            assert_eq!(current(), Some("test.span.outer"));
+        }
+        assert_eq!(current(), None);
+        crate::set_enabled(false);
+        assert_eq!(crate::histogram("test.span.outer").stats().count, 1);
+        assert_eq!(crate::histogram("test.span.inner").stats().count, 1);
+    }
+
+    #[test]
+    fn inert_guard_touches_nothing() {
+        let _l = crate::tests::TEST_LOCK.lock();
+        crate::set_enabled(false);
+        {
+            let g = crate::span("test.span.inert");
+            assert_eq!(g.name(), "test.span.inert");
+            assert_eq!(current(), None);
+        }
+        assert_eq!(crate::histogram("test.span.inert").stats().count, 0);
+    }
+
+    #[test]
+    fn spans_balance_across_threads() {
+        let _l = crate::tests::TEST_LOCK.lock();
+        crate::set_enabled(true);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..100 {
+                        let _s = crate::span("test.span.threads");
+                    }
+                    current().is_none()
+                })
+            })
+            .collect();
+        let balanced = handles.into_iter().all(|h| h.join().unwrap());
+        crate::set_enabled(false);
+        assert!(balanced);
+        assert!(crate::histogram("test.span.threads").stats().count >= 400);
+    }
+}

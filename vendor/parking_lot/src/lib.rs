@@ -11,8 +11,8 @@ pub struct Mutex<T: ?Sized> {
 }
 
 impl<T> Mutex<T> {
-    /// Wrap a value.
-    pub fn new(value: T) -> Self {
+    /// Wrap a value (const, like parking_lot's `const fn new`).
+    pub const fn new(value: T) -> Self {
         Mutex {
             inner: std::sync::Mutex::new(value),
         }
@@ -43,8 +43,8 @@ pub struct RwLock<T: ?Sized> {
 }
 
 impl<T> RwLock<T> {
-    /// Wrap a value.
-    pub fn new(value: T) -> Self {
+    /// Wrap a value (const, like parking_lot's `const fn new`).
+    pub const fn new(value: T) -> Self {
         RwLock {
             inner: std::sync::RwLock::new(value),
         }
@@ -65,6 +65,12 @@ impl<T: ?Sized> RwLock<T> {
     /// Acquire an exclusive write guard.
     pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
         self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
     }
 }
 
