@@ -238,6 +238,11 @@ pub fn run_al(
         if pool.is_empty() {
             break;
         }
+        // One span per iteration, with fit/predict/select child spans
+        // bracketing the same regions the *_ns record fields measure —
+        // the trace tree decomposes al.iteration into its stages.
+        let _iter_span = alperf_obs::span("al.iteration");
+        let fit_span = alperf_obs::span("al.iteration.fit");
         let xs = x_all.select_rows(&train);
         let ys: Vec<f64> = train.iter().map(|&i| y_all[i]).collect();
         let t_fit = if obs_on {
@@ -319,6 +324,7 @@ pub fn run_al(
         } else {
             0
         };
+        drop(fit_span);
         let m = model.as_ref().expect("model fitted above");
         if optimize_now {
             // Hyperparameters may have moved: the cached cross-covariances
@@ -331,6 +337,7 @@ pub fn run_al(
         // cross-covariance + multi-RHS solve each instead of a per-point
         // loop of O(n^2) scalar solves.
         let cache_warm = obs_on && pool_cache.is_warm_for(m);
+        let predict_span = alperf_obs::span("al.iteration.predict");
         let t_predict = if obs_on {
             alperf_obs::clock::monotonic_ns()
         } else {
@@ -356,6 +363,8 @@ pub fn run_al(
         } else {
             0
         };
+        drop(predict_span);
+        let select_span = alperf_obs::span("al.iteration.select");
         // AMSD folded directly — no per-iteration Vec of SDs.
         let amsd = predictions.iter().map(|p| p.std).sum::<f64>() / predictions.len() as f64;
         // Strategy picks.
@@ -380,6 +389,7 @@ pub fn run_al(
         } else {
             0
         };
+        drop(select_span);
         let row = pool[pos];
         cumulative_cost += cost[row];
         if obs_on {
@@ -403,8 +413,8 @@ pub fn run_al(
                     ("noise", Value::F64(m.noise_std())),
                 ],
             );
-            alperf_obs::histogram("al.iteration.fit").record(fit_ns);
-            alperf_obs::histogram("al.iteration.predict").record(predict_ns);
+            // (The stage spans above already record into the
+            // al.iteration.* histograms on drop.)
             alperf_obs::inc("al.iterations");
         }
         history.push(IterationRecord {

@@ -1,136 +1,42 @@
-//! Telemetry overhead budget check — writes `BENCH_obs_overhead.json`.
+//! Telemetry overhead budget check — prints an overhead report and
+//! asserts the <2% budget.
 //!
 //! Usage:
 //!   obs_overhead           # full sizes (n=200 fit, 1024-candidate pool)
 //!   obs_overhead --quick   # tiny sizes (CI smoke run)
 //!
-//! Measures the instrumented fit and batched-predict paths with telemetry
-//! disabled and enabled, plus the per-site primitive costs. The contract is
-//! a <2% regression budget: with telemetry *disabled* each instrumentation
-//! site costs one relaxed atomic load, so even the enabled-vs-disabled
-//! delta (a strict upper bound on the disabled-vs-uninstrumented delta,
-//! since disabling removes the clock reads and histogram updates that
-//! dominate it) must stay under budget. Timings use `std::time::Instant`
-//! directly — the one place that cannot route through the layer it is
-//! measuring — and min-over-reps, the right statistic on a noisy VM.
+//! The measurement itself lives in `alperf_bench::overhead` and is shared
+//! with the `bench_gate` binary, which gates these numbers against the
+//! checked-in `BENCH_obs_overhead.json` baseline (and refreshes it via
+//! `--update-baseline`).
 
-use alperf_gp::kernel::SquaredExponential;
-use alperf_gp::model::Gpr;
-use alperf_gp::noise::NoiseFloor;
-use alperf_gp::optimize::{fit_gpr, GprConfig};
-use alperf_linalg::matrix::Matrix;
-use std::hint::black_box;
-use std::time::Instant;
-
-const BUDGET_PCT: f64 = 2.0;
-
-fn best_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t = Instant::now();
-        f();
-        best = best.min(t.elapsed().as_secs_f64() * 1e3);
-    }
-    best
-}
-
-fn training_data(n: usize) -> (Matrix, Vec<f64>) {
-    let x = Matrix::from_fn(n, 2, |i, j| {
-        if j == 0 {
-            3.0 + 6.0 * (i as f64 / n as f64)
-        } else {
-            1.2 + 1.2 * ((i * 7 % n) as f64 / n as f64)
-        }
-    });
-    let y: Vec<f64> = (0..n)
-        .map(|i| (i as f64 * 0.1).sin() + i as f64 * 0.01)
-        .collect();
-    (x, y)
-}
-
-fn pool_points(m: usize) -> Matrix {
-    Matrix::from_fn(m, 2, |i, j| {
-        if j == 0 {
-            3.0 + 6.0 * ((i * 13 % m) as f64 / m as f64)
-        } else {
-            1.2 + 1.2 * ((i * 29 % m) as f64 / m as f64)
-        }
-    })
-}
-
-/// Cost of one disabled instrumentation site, in nanoseconds.
-fn disabled_site_ns() -> f64 {
-    alperf_obs::set_enabled(false);
-    let iters = 20_000_000u64;
-    let t = Instant::now();
-    for _ in 0..iters {
-        let _s = alperf_obs::span(black_box("overhead.noop"));
-    }
-    t.elapsed().as_secs_f64() * 1e9 / iters as f64
-}
-
-fn overhead_pct(disabled_ms: f64, enabled_ms: f64) -> f64 {
-    (enabled_ms - disabled_ms) / disabled_ms * 100.0
-}
+use alperf_bench::overhead::{self, BUDGET_PCT};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (n, m, restarts, reps) = if quick {
-        (48usize, 128usize, 2usize, 3usize)
-    } else {
-        (200, 1024, 5, 5)
-    };
-
-    let (x, y) = training_data(n);
-    let cfg = GprConfig::new(Box::new(SquaredExponential::unit()))
-        .with_noise_floor(NoiseFloor::recommended())
-        .with_restarts(restarts)
-        .with_seed(17);
-    let gpr = Gpr::fit(
-        x.clone(),
-        &y,
-        Box::new(SquaredExponential::new(1.0, 1.0)),
-        0.1,
-        true,
-    )
-    .unwrap();
-    let pool = pool_points(m);
-
-    alperf_obs::set_enabled(false);
-    let fit_off = best_ms(reps, || {
-        black_box(fit_gpr(&x, &y, &cfg).unwrap());
-    });
-    let predict_off = best_ms(reps * 4, || {
-        black_box(gpr.predict_batch(&pool).unwrap());
-    });
-    alperf_obs::set_enabled(true);
-    let fit_on = best_ms(reps, || {
-        black_box(fit_gpr(&x, &y, &cfg).unwrap());
-    });
-    let predict_on = best_ms(reps * 4, || {
-        black_box(gpr.predict_batch(&pool).unwrap());
-    });
-    alperf_obs::set_enabled(false);
-    let site_ns = disabled_site_ns();
-
-    let fit_pct = overhead_pct(fit_off, fit_on);
-    let predict_pct = overhead_pct(predict_off, predict_on);
-    let within = fit_pct < BUDGET_PCT && predict_pct < BUDGET_PCT;
+    let r = overhead::measure(quick);
+    let (fit_pct, predict_pct) = (r.fit_pct(), r.predict_pct());
+    let within = r.within_budget();
 
     let json = format!(
         "{{\n  \"bench\": \"obs_overhead\",\n  \"budget_pct\": {BUDGET_PCT},\n  \
          \"quick\": {quick},\n  \
-         \"fit\": {{ \"n\": {n}, \"restarts\": {restarts}, \"disabled_ms\": {fit_off:.3}, \
-         \"enabled_ms\": {fit_on:.3}, \"overhead_pct\": {fit_pct:.3} }},\n  \
-         \"predict\": {{ \"train_n\": {n}, \"pool_m\": {m}, \"disabled_ms\": {predict_off:.3}, \
-         \"enabled_ms\": {predict_on:.3}, \"overhead_pct\": {predict_pct:.3} }},\n  \
-         \"disabled_site_ns\": {site_ns:.3},\n  \"within_budget\": {within}\n}}\n"
+         \"fit\": {{ \"n\": {}, \"restarts\": {}, \"disabled_ms\": {:.3}, \
+         \"enabled_ms\": {:.3}, \"overhead_pct\": {fit_pct:.3} }},\n  \
+         \"predict\": {{ \"train_n\": {}, \"pool_m\": {}, \"disabled_ms\": {:.3}, \
+         \"enabled_ms\": {:.3}, \"overhead_pct\": {predict_pct:.3} }},\n  \
+         \"disabled_site_ns\": {:.3},\n  \"within_budget\": {within}\n}}\n",
+        r.n,
+        r.restarts,
+        r.fit_off_ms,
+        r.fit_on_ms,
+        r.n,
+        r.m,
+        r.predict_off_ms,
+        r.predict_on_ms,
+        r.site_ns
     );
     print!("{json}");
-    if !quick {
-        std::fs::write("BENCH_obs_overhead.json", &json).expect("write BENCH_obs_overhead.json");
-        eprintln!("[wrote BENCH_obs_overhead.json]");
-    }
     assert!(
         within,
         "telemetry overhead exceeds the {BUDGET_PCT}% budget: fit {fit_pct:.2}%, \

@@ -3,101 +3,53 @@
 //!
 //! Usage: `validate_trace <trace.jsonl>`
 //!
+//! Built on the shared `alperf-trace` reader (the same parser every
+//! analysis consumer uses, so the validator can never drift from them).
 //! Checks, in order:
-//! * the first line is a `meta` record declaring schema `alperf-obs-v1`;
-//! * every line parses as a JSON object with `v == 1` and a known type
-//!   (`meta`, `span`, `record`);
-//! * spans carry `name`, `tid`, `start_ns`, `dur_ns` (numbers);
-//! * records carry `name`, `tid` and a `fields` object;
-//! * `al.iteration` records have a strictly increasing `iter` per `run` id
-//!   (the monotone-iteration-index invariant of the AL telemetry).
+//! * the file reads under schema `alperf-obs-v1` (first line is the meta
+//!   record; every line parses as a typed v1 event);
+//! * the spans reconstruct into a *connected* forest — every span that
+//!   declares a parent resolves to it, including spans emitted on rayon
+//!   worker threads (the cross-thread parentage invariant);
+//! * `al.iteration` records carry the per-iteration payload and a
+//!   strictly increasing `iter` per `run` id.
 //!
-//! Exits non-zero with a line-numbered message on the first violation.
+//! Exit codes: 0 valid; 1 malformed content or violated invariant;
+//! 2 usage; 3 unreadable input; 4 empty trace; 5 unknown schema.
 
-use alperf_obs::json::{self, Json};
+use alperf_trace::{read_path, SpanForest, Trace};
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::process::ExitCode;
 
-fn field_f64(obj: &Json, key: &str, line_no: usize) -> Result<f64, String> {
-    obj.get(key)
-        .and_then(Json::as_f64)
-        .ok_or_else(|| format!("line {line_no}: missing/non-numeric \"{key}\""))
-}
-
-fn field_str<'a>(obj: &'a Json, key: &str, line_no: usize) -> Result<&'a str, String> {
-    obj.get(key)
-        .and_then(Json::as_str)
-        .ok_or_else(|| format!("line {line_no}: missing/non-string \"{key}\""))
-}
-
-fn validate(text: &str) -> Result<(usize, usize, usize), String> {
-    let mut spans = 0usize;
-    let mut records = 0usize;
+fn check_iterations(trace: &Trace) -> Result<usize, String> {
     let mut iterations = 0usize;
     // run id -> last seen iteration index for the monotonicity check.
     let mut last_iter: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut lines = text.lines().enumerate();
-
-    let (_, first) = lines.next().ok_or("empty trace file".to_string())?;
-    let meta = json::parse(first).map_err(|e| format!("line 1: {e}"))?;
-    if field_str(&meta, "t", 1)? != "meta" {
-        return Err("line 1: first line must be the meta record".into());
-    }
-    if field_str(&meta, "schema", 1)? != alperf_obs::sink::SCHEMA {
-        return Err(format!(
-            "line 1: unknown schema {:?} (expected {:?})",
-            meta.get("schema"),
-            alperf_obs::sink::SCHEMA
-        ));
-    }
-
-    for (idx, line) in lines {
-        let line_no = idx + 1;
-        let obj = json::parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
-        if field_f64(&obj, "v", line_no)? != 1.0 {
-            return Err(format!("line {line_no}: unsupported version"));
+    for rec in trace.records_named("al.iteration") {
+        iterations += 1;
+        let f = |key: &str| {
+            rec.f64(key)
+                .ok_or_else(|| format!("al.iteration record missing numeric \"{key}\""))
+        };
+        // Presence of the per-iteration payload.
+        for key in ["rmse", "amsd", "sigma", "cum_cost", "fit_ns", "pool_size"] {
+            f(key)?;
         }
-        match field_str(&obj, "t", line_no)? {
-            "span" => {
-                spans += 1;
-                field_str(&obj, "name", line_no)?;
-                field_f64(&obj, "tid", line_no)?;
-                field_f64(&obj, "start_ns", line_no)?;
-                field_f64(&obj, "dur_ns", line_no)?;
+        rec.str("refit")
+            .ok_or("al.iteration record missing \"refit\"")?;
+        let run = f("run")? as u64;
+        let iter = f("iter")? as u64;
+        if let Some(&prev) = last_iter.get(&run) {
+            if iter <= prev {
+                return Err(format!(
+                    "run {run} iteration index not monotone ({prev} then {iter})"
+                ));
             }
-            "record" => {
-                records += 1;
-                let name = field_str(&obj, "name", line_no)?;
-                field_f64(&obj, "tid", line_no)?;
-                let fields = obj
-                    .get("fields")
-                    .filter(|f| f.as_obj().is_some())
-                    .ok_or_else(|| format!("line {line_no}: record without \"fields\" object"))?;
-                if name == "al.iteration" {
-                    iterations += 1;
-                    let run = field_f64(fields, "run", line_no)? as u64;
-                    let iter = field_f64(fields, "iter", line_no)? as u64;
-                    // Presence of the per-iteration payload.
-                    for key in ["rmse", "amsd", "sigma", "cum_cost", "fit_ns", "pool_size"] {
-                        field_f64(fields, key, line_no)?;
-                    }
-                    field_str(fields, "refit", line_no)?;
-                    if let Some(&prev) = last_iter.get(&run) {
-                        if iter <= prev {
-                            return Err(format!(
-                                "line {line_no}: run {run} iteration index not monotone \
-                                 ({prev} then {iter})"
-                            ));
-                        }
-                    }
-                    last_iter.insert(run, iter);
-                }
-            }
-            "meta" => {}
-            other => return Err(format!("line {line_no}: unknown event type {other:?}")),
         }
+        last_iter.insert(run, iter);
     }
-    Ok((spans, records, iterations))
+    Ok(iterations)
 }
 
 fn main() -> ExitCode {
@@ -105,19 +57,29 @@ fn main() -> ExitCode {
         eprintln!("usage: validate_trace <trace.jsonl>");
         return ExitCode::from(2);
     };
-    let text = match std::fs::read_to_string(&path) {
+    let trace = match read_path(Path::new(&path)) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("validate_trace: cannot read {path}: {e}");
-            return ExitCode::from(2);
+            eprintln!("{path}: INVALID — {e}");
+            return ExitCode::from(e.exit_code());
         }
     };
-    match validate(&text) {
-        Ok((spans, records, iterations)) => {
+    let forest = match SpanForest::build(&trace.spans) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check_iterations(&trace) {
+        Ok(iterations) => {
             println!(
-                "{path}: OK — {spans} spans, {records} records \
+                "{path}: OK — {} spans in {} connected trees, {} records \
                  ({iterations} al.iteration) under schema {}",
-                alperf_obs::sink::SCHEMA
+                forest.len(),
+                forest.roots.len(),
+                trace.records.len(),
+                trace.schema
             );
             ExitCode::SUCCESS
         }

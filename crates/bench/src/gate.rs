@@ -1,0 +1,511 @@
+//! Perf-regression gate: compare freshly measured hot-path numbers
+//! against a checked-in `alperf-bench-gate-v1` baseline.
+//!
+//! Two gate kinds:
+//!
+//! * `"relative"` — an absolute time (ms/ns). Fails when the current
+//!   value exceeds `baseline * (1 + tolerance)`. Absolute times are only
+//!   comparable on the machine that recorded them, so these gates are
+//!   *skipped* (never failed) when the CPU count or quick/full mode of
+//!   the current run differs from the baseline's — that is what keeps
+//!   the gate runnable on arbitrary CI hardware.
+//! * `"budget"` — a ratio with a hard ceiling (telemetry overhead
+//!   percent). Fails when the current value reaches the recorded budget,
+//!   on any machine; tolerance does not apply.
+//!
+//! A baseline whose relative values are *lower* than the code can
+//! actually deliver (an inflated performance claim) therefore fails the
+//! build on the recording machine — the acceptance property of the gate.
+
+use alperf_obs::json::{self, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema identifier of gate baseline files.
+pub const GATE_SCHEMA: &str = "alperf-bench-gate-v1";
+
+/// Machine metadata recorded with a baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Machine {
+    /// Hardware thread count of the recording machine.
+    pub cpus: u64,
+    /// Short commit hash the baseline was recorded at ("unknown" when
+    /// not in a git checkout).
+    pub commit: String,
+}
+
+/// Gate kind for one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateKind {
+    /// Absolute time; tolerance applies; machine-mismatch skips.
+    Relative,
+    /// Hard ceiling; always enforced.
+    Budget,
+}
+
+/// One gated metric in a baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metric {
+    /// How the metric gates.
+    pub kind: GateKind,
+    /// Recorded baseline value (relative) or ceiling (budget).
+    pub value: f64,
+    /// Per-metric relative tolerance override, percent. Short
+    /// measurements (single-digit ms, pure-CPU ns loops) swing far more
+    /// than long ones under CPU steal, so the recorder can grant them a
+    /// wider allowance than the CLI default without loosening the gate on
+    /// the stable hot paths. `None` = use the `--tolerance` default.
+    pub tol_pct: Option<f64>,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Which benchmark the baseline belongs to.
+    pub bench: String,
+    /// Recording machine metadata.
+    pub machine: Machine,
+    /// Recorded with `--quick` sizes?
+    pub quick: bool,
+    /// Gated metrics by stable name.
+    pub metrics: BTreeMap<String, Metric>,
+}
+
+/// Parse an `alperf-bench-gate-v1` baseline document.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let doc = json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("baseline missing \"schema\"")?;
+    if schema != GATE_SCHEMA {
+        return Err(format!(
+            "unknown baseline schema {schema:?} (expected {GATE_SCHEMA:?})"
+        ));
+    }
+    let bench = doc
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or("baseline missing \"bench\"")?
+        .to_string();
+    let machine = doc.get("machine").ok_or("baseline missing \"machine\"")?;
+    let machine = Machine {
+        cpus: machine
+            .get("cpus")
+            .and_then(Json::as_f64)
+            .ok_or("baseline missing machine.cpus")? as u64,
+        commit: machine
+            .get("commit")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+    };
+    let quick = matches!(doc.get("quick"), Some(Json::Bool(true)));
+    let metrics_obj = doc
+        .get("metrics")
+        .and_then(Json::as_obj)
+        .ok_or("baseline missing \"metrics\" object")?;
+    let mut metrics = BTreeMap::new();
+    for (name, m) in metrics_obj {
+        let kind = match m.get("kind").and_then(Json::as_str) {
+            Some("relative") => GateKind::Relative,
+            Some("budget") => GateKind::Budget,
+            other => return Err(format!("metric {name:?}: bad gate kind {other:?}")),
+        };
+        let value = m
+            .get("value")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("metric {name:?}: missing numeric \"value\""))?;
+        let tol_pct = m.get("tol_pct").and_then(Json::as_f64);
+        metrics.insert(
+            name.clone(),
+            Metric {
+                kind,
+                value,
+                tol_pct,
+            },
+        );
+    }
+    if metrics.is_empty() {
+        return Err("baseline gates no metrics".into());
+    }
+    Ok(Baseline {
+        bench,
+        machine,
+        quick,
+        metrics,
+    })
+}
+
+/// Serialize a baseline document (the `--update-baseline` writer).
+pub fn render_baseline(
+    bench: &str,
+    date: &str,
+    machine: &Machine,
+    quick: bool,
+    metrics: &[(&str, Metric)],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"{GATE_SCHEMA}\",");
+    let _ = writeln!(out, "  \"bench\": \"{bench}\",");
+    let _ = writeln!(out, "  \"date\": \"{date}\",");
+    let _ = writeln!(
+        out,
+        "  \"machine\": {{ \"cpus\": {}, \"commit\": \"{}\" }},",
+        machine.cpus, machine.commit
+    );
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"metrics\": {{");
+    for (i, (name, m)) in metrics.iter().enumerate() {
+        let kind = match m.kind {
+            GateKind::Relative => "relative",
+            GateKind::Budget => "budget",
+        };
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        let tol = m
+            .tol_pct
+            .map(|p| format!(", \"tol_pct\": {p:.1}"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "    \"{name}\": {{ \"kind\": \"{kind}\", \"value\": {:.3}{tol} }}{comma}",
+            m.value
+        );
+    }
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Outcome of one gate check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateStatus {
+    /// Within bounds.
+    Pass,
+    /// Regression (or missing current value).
+    Fail,
+    /// Relative gate on incomparable hardware/mode — not evaluated.
+    Skipped,
+}
+
+/// One evaluated gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Metric name.
+    pub name: String,
+    /// Gate kind.
+    pub kind: GateKind,
+    /// Baseline value/ceiling.
+    pub baseline: f64,
+    /// Currently measured value (NaN when missing).
+    pub current: f64,
+    /// Verdict.
+    pub status: GateStatus,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+/// Evaluate every baseline metric against `current` measurements.
+/// `tolerance` is the relative-gate headroom (0.15 = +15%); `cpus` and
+/// `quick` describe the *current* run for the comparability check.
+pub fn evaluate(
+    baseline: &Baseline,
+    current: &BTreeMap<String, f64>,
+    tolerance: f64,
+    cpus: u64,
+    quick: bool,
+) -> Vec<GateOutcome> {
+    let comparable = cpus == baseline.machine.cpus && quick == baseline.quick;
+    let mut outcomes = Vec::with_capacity(baseline.metrics.len());
+    for (name, metric) in &baseline.metrics {
+        let Some(&cur) = current.get(name) else {
+            outcomes.push(GateOutcome {
+                name: name.clone(),
+                kind: metric.kind,
+                baseline: metric.value,
+                current: f64::NAN,
+                status: GateStatus::Fail,
+                detail: "metric not measured by the current run".into(),
+            });
+            continue;
+        };
+        let (status, detail) = match metric.kind {
+            GateKind::Relative if !comparable => (
+                GateStatus::Skipped,
+                format!(
+                    "absolute-time gate skipped: baseline from cpus={} quick={}, \
+                     current cpus={cpus} quick={quick}",
+                    baseline.machine.cpus, baseline.quick
+                ),
+            ),
+            GateKind::Relative => {
+                let tol = metric.tol_pct.map(|p| p / 100.0).unwrap_or(tolerance);
+                let limit = metric.value * (1.0 + tol);
+                if cur <= limit {
+                    (
+                        GateStatus::Pass,
+                        format!(
+                            "{cur:.3} <= {limit:.3} (baseline {:.3} +{:.0}%)",
+                            metric.value,
+                            tol * 100.0
+                        ),
+                    )
+                } else {
+                    (
+                        GateStatus::Fail,
+                        format!(
+                            "{cur:.3} exceeds {limit:.3} (baseline {:.3} +{:.0}% tolerance)",
+                            metric.value,
+                            tol * 100.0
+                        ),
+                    )
+                }
+            }
+            GateKind::Budget => {
+                if cur < metric.value {
+                    (
+                        GateStatus::Pass,
+                        format!("{cur:.3} < budget {:.3}", metric.value),
+                    )
+                } else {
+                    (
+                        GateStatus::Fail,
+                        format!("{cur:.3} reaches budget {:.3}", metric.value),
+                    )
+                }
+            }
+        };
+        outcomes.push(GateOutcome {
+            name: name.clone(),
+            kind: metric.kind,
+            baseline: metric.value,
+            current: cur,
+            status,
+            detail,
+        });
+    }
+    outcomes
+}
+
+/// Did any gate fail?
+pub fn any_failed(outcomes: &[GateOutcome]) -> bool {
+    outcomes.iter().any(|o| o.status == GateStatus::Fail)
+}
+
+/// Human-readable gate report.
+pub fn render_table(outcomes: &[GateOutcome]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>10} {:>12} {:>12}  verdict",
+        "metric", "kind", "baseline", "current"
+    );
+    for o in outcomes {
+        let kind = match o.kind {
+            GateKind::Relative => "relative",
+            GateKind::Budget => "budget",
+        };
+        let status = match o.status {
+            GateStatus::Pass => "PASS",
+            GateStatus::Fail => "FAIL",
+            GateStatus::Skipped => "skip",
+        };
+        let cur = if o.current.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{:.3}", o.current)
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10} {:>12.3} {:>12}  {status}: {}",
+            o.name, kind, o.baseline, cur, o.detail
+        );
+    }
+    out
+}
+
+/// Machine-readable gate report.
+pub fn render_json(outcomes: &[GateOutcome], tolerance: f64) -> String {
+    let mut out = format!(
+        "{{\"schema\":\"alperf-bench-gate-report-v1\",\"tolerance\":{},\"failed\":{},\"gates\":[",
+        json::number(tolerance),
+        any_failed(outcomes)
+    );
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut name = String::new();
+        json::escape_into(&mut name, &o.name);
+        let status = match o.status {
+            GateStatus::Pass => "pass",
+            GateStatus::Fail => "fail",
+            GateStatus::Skipped => "skipped",
+        };
+        let cur = if o.current.is_finite() {
+            json::number(o.current)
+        } else {
+            "null".into()
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":{name},\"baseline\":{},\"current\":{cur},\"status\":\"{status}\"}}",
+            json::number(o.baseline)
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline_text(fit_ms: f64) -> String {
+        format!(
+            r#"{{
+  "schema": "alperf-bench-gate-v1",
+  "bench": "obs_overhead",
+  "date": "2026-08-05",
+  "machine": {{ "cpus": 1, "commit": "abc1234" }},
+  "quick": false,
+  "metrics": {{
+    "fit_ms": {{ "kind": "relative", "value": {fit_ms} }},
+    "fit_overhead_pct": {{ "kind": "budget", "value": 2.0 }}
+  }}
+}}"#
+        )
+    }
+
+    fn current(fit_ms: f64, pct: f64) -> BTreeMap<String, f64> {
+        BTreeMap::from([
+            ("fit_ms".to_string(), fit_ms),
+            ("fit_overhead_pct".to_string(), pct),
+        ])
+    }
+
+    #[test]
+    fn honest_baseline_passes() {
+        let b = parse_baseline(&baseline_text(3500.0)).unwrap();
+        assert_eq!(b.machine.cpus, 1);
+        assert_eq!(b.machine.commit, "abc1234");
+        let out = evaluate(&b, &current(3600.0, 0.5), 0.15, 1, false);
+        assert!(!any_failed(&out), "{}", render_table(&out));
+    }
+
+    #[test]
+    fn deflated_baseline_fails_relative_gate() {
+        // A baseline claiming the fit runs in 1000 ms when it actually
+        // takes 3600 ms — the inflated performance claim the gate exists
+        // to catch.
+        let b = parse_baseline(&baseline_text(1000.0)).unwrap();
+        let out = evaluate(&b, &current(3600.0, 0.5), 0.15, 1, false);
+        assert!(any_failed(&out));
+        let fit = out.iter().find(|o| o.name == "fit_ms").unwrap();
+        assert_eq!(fit.status, GateStatus::Fail);
+    }
+
+    #[test]
+    fn budget_gate_enforced_on_any_machine() {
+        let b = parse_baseline(&baseline_text(1000.0)).unwrap();
+        // Different cpu count: relative gate skipped, budget still fails.
+        let out = evaluate(&b, &current(3600.0, 5.0), 0.15, 8, false);
+        let fit = out.iter().find(|o| o.name == "fit_ms").unwrap();
+        assert_eq!(fit.status, GateStatus::Skipped);
+        let pct = out.iter().find(|o| o.name == "fit_overhead_pct").unwrap();
+        assert_eq!(pct.status, GateStatus::Fail);
+        assert!(any_failed(&out));
+    }
+
+    #[test]
+    fn quick_mode_mismatch_skips_relative_gates() {
+        let b = parse_baseline(&baseline_text(3500.0)).unwrap();
+        let out = evaluate(&b, &current(50.0, 0.5), 0.15, 1, true);
+        let fit = out.iter().find(|o| o.name == "fit_ms").unwrap();
+        assert_eq!(fit.status, GateStatus::Skipped);
+        assert!(!any_failed(&out));
+    }
+
+    #[test]
+    fn missing_metric_fails() {
+        let b = parse_baseline(&baseline_text(3500.0)).unwrap();
+        let out = evaluate(&b, &BTreeMap::new(), 0.15, 1, false);
+        assert!(any_failed(&out));
+        assert!(out.iter().all(|o| o.status == GateStatus::Fail));
+    }
+
+    #[test]
+    fn baseline_round_trips_through_renderer() {
+        let machine = Machine {
+            cpus: 4,
+            commit: "deadbee".into(),
+        };
+        let metrics = [
+            (
+                "fit_ms",
+                Metric {
+                    kind: GateKind::Relative,
+                    value: 123.456,
+                    tol_pct: None,
+                },
+            ),
+            (
+                "predict_ms",
+                Metric {
+                    kind: GateKind::Relative,
+                    value: 3.25,
+                    tol_pct: Some(50.0),
+                },
+            ),
+            (
+                "fit_overhead_pct",
+                Metric {
+                    kind: GateKind::Budget,
+                    value: 2.0,
+                    tol_pct: None,
+                },
+            ),
+        ];
+        let text = render_baseline("obs_overhead", "2026-08-05", &machine, true, &metrics);
+        let back = parse_baseline(&text).unwrap();
+        assert_eq!(back.bench, "obs_overhead");
+        assert_eq!(back.machine, machine);
+        assert!(back.quick);
+        assert_eq!(back.metrics.len(), 3);
+        assert!((back.metrics["fit_ms"].value - 123.456).abs() < 1e-9);
+        assert_eq!(back.metrics["fit_ms"].tol_pct, None);
+        assert_eq!(back.metrics["predict_ms"].tol_pct, Some(50.0));
+        assert_eq!(back.metrics["fit_overhead_pct"].kind, GateKind::Budget);
+    }
+
+    #[test]
+    fn per_metric_tolerance_overrides_default() {
+        let text = r#"{
+  "schema": "alperf-bench-gate-v1",
+  "bench": "obs_overhead",
+  "machine": { "cpus": 1, "commit": "abc1234" },
+  "quick": false,
+  "metrics": {
+    "predict_ms": { "kind": "relative", "value": 3.0, "tol_pct": 50.0 }
+  }
+}"#;
+        let b = parse_baseline(text).unwrap();
+        let cur = BTreeMap::from([("predict_ms".to_string(), 4.2)]);
+        // 4.2 is 40% over 3.0: fails the 15% CLI default, passes the
+        // metric's own 50% allowance.
+        let out = evaluate(&b, &cur, 0.15, 1, false);
+        assert_eq!(out[0].status, GateStatus::Pass, "{}", out[0].detail);
+        let cur_bad = BTreeMap::from([("predict_ms".to_string(), 4.6)]);
+        let out = evaluate(&b, &cur_bad, 0.15, 1, false);
+        assert_eq!(out[0].status, GateStatus::Fail);
+    }
+
+    #[test]
+    fn bad_schema_and_kinds_rejected() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("{\"schema\":\"v0\"}").is_err());
+        let bad_kind = baseline_text(1.0).replace("relative", "sideways");
+        assert!(parse_baseline(&bad_kind).is_err());
+    }
+}

@@ -8,6 +8,8 @@
 //! cached on disk — all figures must come from the *same* dataset, exactly
 //! as in the paper.
 
+pub mod gate;
+pub mod overhead;
 pub mod plot;
 
 use alperf_cluster::campaign::{Campaign, CampaignOutput};

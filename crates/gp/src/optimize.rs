@@ -363,8 +363,12 @@ pub fn fit_gpr(x: &Matrix, y: &[f64], config: &GprConfig) -> Result<(Gpr, OptimO
         })
         .collect();
     let fixed_noise = config.noise_floor.clamp(config.noise_init, x.nrows());
+    // Restarts may run on rayon worker threads, where the thread-local
+    // span stack is empty; carry the gp.fit span's identity into the
+    // closure so restart spans still attach under it in the trace tree.
+    let fit_span = alperf_obs::current_span();
     let run = |theta0: Vec<f64>| {
-        let _restart_span = alperf_obs::span("gp.fit.restart");
+        let _restart_span = alperf_obs::span_with_parent("gp.fit.restart", fit_span);
         ascend(
             config.kernel.as_ref(),
             x,

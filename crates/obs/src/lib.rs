@@ -41,6 +41,7 @@
 //! ```
 
 pub mod clock;
+pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod registry;
@@ -48,10 +49,11 @@ pub mod sink;
 pub mod span;
 
 pub use clock::{Clock, FakeClock, SystemClock};
+pub use event::{Event, MetaEvent, RecordEvent, SpanEvent};
 pub use metrics::{Counter, HistStats, Histogram};
 pub use registry::Registry;
 pub use sink::Value;
-pub use span::SpanGuard;
+pub use span::{SpanCtx, SpanGuard};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -116,6 +118,29 @@ pub fn span(name: &'static str) -> SpanGuard {
     SpanGuard::enter(name)
 }
 
+/// Open a span whose trace parent is `parent` (captured with
+/// [`current_span`] before crossing a thread boundary) instead of this
+/// thread's innermost open span. This is how fork-join call sites keep
+/// their worker spans attached to the logical caller: parentage is
+/// otherwise thread-local, so a span opened on a rayon worker would
+/// become a root. Children opened *under* the returned guard on the same
+/// thread still nest normally.
+#[inline]
+pub fn span_with_parent(name: &'static str, parent: Option<SpanCtx>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::inert(name);
+    }
+    SpanGuard::enter_with_parent(name, parent)
+}
+
+/// The innermost open span on this thread — capture before dispatching
+/// fork-join work and hand to [`span_with_parent`] on the workers.
+/// `None` when no span is open (including whenever telemetry is off).
+#[inline]
+pub fn current_span() -> Option<SpanCtx> {
+    span::current()
+}
+
 /// Emit a structured record event (one JSONL line) — a no-op when
 /// telemetry is disabled or no sink is installed. `fields` appear under
 /// the `"fields"` key of the emitted object.
@@ -138,7 +163,7 @@ pub fn time_with<T>(clock: &dyn Clock, name: &str, f: impl FnOnce() -> T) -> (T,
     let out = f();
     let dur = clock.now_ns().saturating_sub(start);
     registry::global().histogram(name).record(dur);
-    sink::emit_span(name, span::current(), start, dur);
+    sink::emit_span(name, span::next_span_id(), span::current(), start, dur);
     (out, dur)
 }
 

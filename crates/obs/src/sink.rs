@@ -16,6 +16,7 @@
 //! ```
 
 use crate::json;
+use crate::span::SpanCtx;
 use parking_lot::Mutex;
 use std::io::{BufWriter, Write};
 use std::path::Path;
@@ -54,6 +55,16 @@ impl Value<'_> {
 
 struct Sink {
     writer: Mutex<BufWriter<std::fs::File>>,
+}
+
+impl Drop for Sink {
+    // Flush guarantee: a replaced sink (a second `install_jsonl`) flushes
+    // its buffered tail when the last handle drops, so no trace lines are
+    // lost across reinstalls. Process exit still requires [`flush`] /
+    // [`uninstall`] (statics are not dropped), which `obs_finish` does.
+    fn drop(&mut self) {
+        let _ = self.writer.lock().flush();
+    }
 }
 
 static SINK: Mutex<Option<Arc<Sink>>> = Mutex::new(None);
@@ -124,20 +135,23 @@ fn write_line(line: &str) {
 }
 
 /// Emit a span line (called by the span guard on drop). No-op without a
-/// sink.
-pub fn emit_span(name: &str, parent: Option<&'static str>, start_ns: u64, dur_ns: u64) {
+/// sink. The line carries the span's process-unique `id` and, when a
+/// parent is known, the parent's `parent` (name) + `pid` (id) — `pid` is
+/// what trace readers link trees by; the name survives for readability
+/// and for pre-id consumers.
+pub fn emit_span(name: &str, id: u64, parent: Option<SpanCtx>, start_ns: u64, dur_ns: u64) {
     if !active() {
         return;
     }
-    let mut line = String::with_capacity(96);
-    line.push_str("{\"v\":1,\"t\":\"span\",\"name\":");
-    json::escape_into(&mut line, name);
-    line.push_str(&format!(",\"tid\":{}", thread_id()));
-    if let Some(p) = parent {
-        line.push_str(",\"parent\":");
-        json::escape_into(&mut line, p);
-    }
-    line.push_str(&format!(",\"start_ns\":{start_ns},\"dur_ns\":{dur_ns}}}"));
+    let line = crate::event::span_line(
+        name,
+        thread_id(),
+        Some(id),
+        parent.map(|c| c.name),
+        parent.map(|c| c.id),
+        start_ns,
+        dur_ns,
+    );
     write_line(&line);
 }
 
@@ -175,7 +189,16 @@ mod tests {
         let path =
             std::env::temp_dir().join(format!("alperf_obs_sink_{}.jsonl", std::process::id()));
         install_jsonl(&path).unwrap();
-        emit_span("unit.span", Some("unit.parent"), 10, 25);
+        emit_span(
+            "unit.span",
+            7,
+            Some(SpanCtx {
+                name: "unit.parent",
+                id: 6,
+            }),
+            10,
+            25,
+        );
         emit_record(
             "unit.record",
             &[
@@ -197,6 +220,8 @@ mod tests {
         let span = json::parse(lines[1]).unwrap();
         assert_eq!(span.get("t").and_then(Json::as_str), Some("span"));
         assert_eq!(span.get("dur_ns").and_then(Json::as_f64), Some(25.0));
+        assert_eq!(span.get("id").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(span.get("pid").and_then(Json::as_f64), Some(6.0));
         assert_eq!(
             span.get("parent").and_then(Json::as_str),
             Some("unit.parent")
@@ -216,7 +241,7 @@ mod tests {
         let _l = crate::tests::TEST_LOCK.lock();
         uninstall();
         assert!(!active());
-        emit_span("unit.nosink", None, 0, 0);
+        emit_span("unit.nosink", 1, None, 0, 0);
         emit_record("unit.nosink", &[]);
     }
 }

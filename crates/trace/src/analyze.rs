@@ -1,0 +1,238 @@
+//! Critical-path analysis and per-span-name time aggregation.
+//!
+//! *Total* time of a name is the sum of all its spans' durations; *self*
+//! time subtracts each span's direct children, so a table of self times
+//! sums (per tree level) back to the wall time actually spent — this is
+//! what decomposes an `al.iteration` span exactly into its
+//! fit/predict/select (and, transitively, cholesky) constituents. The
+//! *critical path* of a span is the greedy longest root-to-leaf descent
+//! by child duration: the chain of stages a wall-clock optimization has
+//! to shorten.
+
+use crate::tree::SpanForest;
+
+/// Aggregated timing for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Sum of durations, ns.
+    pub total_ns: u64,
+    /// Sum of self times (duration minus direct children), ns.
+    pub self_ns: u64,
+    /// Smallest single duration, ns.
+    pub min_ns: u64,
+    /// Largest single duration, ns.
+    pub max_ns: u64,
+}
+
+/// Per-name total/self aggregation over the whole forest, sorted by
+/// descending self time (the profiler's "where does the time actually
+/// go" order), name as tie-break.
+pub fn aggregate(forest: &SpanForest) -> Vec<SpanStats> {
+    let mut by_name: std::collections::BTreeMap<&str, SpanStats> = Default::default();
+    for i in 0..forest.nodes.len() {
+        let span = &forest.nodes[i].span;
+        let entry = by_name
+            .entry(span.name.as_str())
+            .or_insert_with(|| SpanStats {
+                name: span.name.clone(),
+                count: 0,
+                total_ns: 0,
+                self_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+            });
+        entry.count += 1;
+        entry.total_ns += span.dur_ns;
+        entry.self_ns += forest.self_ns(i);
+        entry.min_ns = entry.min_ns.min(span.dur_ns);
+        entry.max_ns = entry.max_ns.max(span.dur_ns);
+    }
+    let mut stats: Vec<SpanStats> = by_name.into_values().collect();
+    stats.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+    stats
+}
+
+/// One step of a critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathStep {
+    /// Span name at this depth.
+    pub name: String,
+    /// The span's duration, ns.
+    pub dur_ns: u64,
+    /// The span's self time, ns.
+    pub self_ns: u64,
+}
+
+/// The longest root-to-leaf chain under one span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Steps from the starting span down to a leaf.
+    pub steps: Vec<PathStep>,
+    /// Duration of the starting span, ns.
+    pub total_ns: u64,
+}
+
+impl CriticalPath {
+    /// Render as a `name dur_ms (self_ms)` indent chain.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (depth, step) in self.steps.iter().enumerate() {
+            out.push_str(&format!(
+                "{:indent$}{} {:.3} ms (self {:.3} ms)\n",
+                "",
+                step.name,
+                step.dur_ns as f64 / 1e6,
+                step.self_ns as f64 / 1e6,
+                indent = depth * 2
+            ));
+        }
+        out
+    }
+}
+
+/// Critical path starting at node `idx`: descend into the heaviest child
+/// until a leaf.
+pub fn critical_path_from(forest: &SpanForest, idx: usize) -> CriticalPath {
+    let total_ns = forest.nodes[idx].span.dur_ns;
+    let mut steps = Vec::new();
+    let mut i = idx;
+    loop {
+        let node = &forest.nodes[i];
+        steps.push(PathStep {
+            name: node.span.name.clone(),
+            dur_ns: node.span.dur_ns,
+            self_ns: forest.self_ns(i),
+        });
+        // Heaviest child; emission order breaks exact ties deterministically.
+        match node
+            .children
+            .iter()
+            .copied()
+            .max_by_key(|&c| (forest.nodes[c].span.dur_ns, std::cmp::Reverse(c)))
+        {
+            Some(c) => i = c,
+            None => break,
+        }
+    }
+    CriticalPath { steps, total_ns }
+}
+
+/// Critical path under the single heaviest span named `name`, or `None`
+/// when the trace has no such span.
+pub fn critical_path(forest: &SpanForest, name: &str) -> Option<CriticalPath> {
+    let idx = forest
+        .named(name)
+        .into_iter()
+        .max_by_key(|&i| (forest.nodes[i].span.dur_ns, std::cmp::Reverse(i)))?;
+    Some(critical_path_from(forest, idx))
+}
+
+/// How much of a name's total time its direct children account for —
+/// the `al.iteration`-decomposes-into-its-stages check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChildCoverage {
+    /// Number of spans with the name.
+    pub count: u64,
+    /// Sum of their durations, ns.
+    pub total_ns: u64,
+    /// Sum of their direct children's durations, ns.
+    pub children_ns: u64,
+}
+
+impl ChildCoverage {
+    /// Children's share of the total, in percent (100 = exact cover).
+    pub fn pct(&self) -> f64 {
+        if self.total_ns == 0 {
+            100.0
+        } else {
+            self.children_ns as f64 / self.total_ns as f64 * 100.0
+        }
+    }
+}
+
+/// Compute [`ChildCoverage`] for all spans named `name`.
+pub fn child_coverage(forest: &SpanForest, name: &str) -> Option<ChildCoverage> {
+    let idxs = forest.named(name);
+    if idxs.is_empty() {
+        return None;
+    }
+    let mut cov = ChildCoverage {
+        count: 0,
+        total_ns: 0,
+        children_ns: 0,
+    };
+    for i in idxs {
+        cov.count += 1;
+        cov.total_ns += forest.nodes[i].span.dur_ns;
+        cov.children_ns += forest.children_dur_ns(i);
+    }
+    Some(cov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alperf_obs::event::SpanEvent;
+
+    fn span(name: &str, id: u64, pid: Option<u64>, start: u64, dur: u64) -> SpanEvent {
+        SpanEvent {
+            name: name.into(),
+            tid: 1,
+            id: Some(id),
+            parent: None,
+            parent_id: pid,
+            start_ns: start,
+            dur_ns: dur,
+        }
+    }
+
+    /// iteration(100) -> fit(70) -> cholesky(50); iteration -> predict(20)
+    fn forest() -> SpanForest {
+        SpanForest::build(&[
+            span("cholesky", 3, Some(2), 5, 50),
+            span("fit", 2, Some(1), 0, 70),
+            span("predict", 4, Some(1), 70, 20),
+            span("iteration", 1, None, 0, 100),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn aggregate_computes_self_time() {
+        let stats = aggregate(&forest());
+        let get = |n: &str| stats.iter().find(|s| s.name == n).unwrap().clone();
+        assert_eq!(get("iteration").total_ns, 100);
+        assert_eq!(get("iteration").self_ns, 10); // 100 - 70 - 20
+        assert_eq!(get("fit").self_ns, 20); // 70 - 50
+        assert_eq!(get("cholesky").self_ns, 50);
+        assert_eq!(get("predict").self_ns, 20);
+        // Self times over the whole forest sum to root wall time.
+        let total_self: u64 = stats.iter().map(|s| s.self_ns).sum();
+        assert_eq!(total_self, 100);
+        // Sorted by descending self time.
+        assert_eq!(stats[0].name, "cholesky");
+    }
+
+    #[test]
+    fn critical_path_follows_heaviest_child() {
+        let cp = critical_path(&forest(), "iteration").unwrap();
+        let names: Vec<&str> = cp.steps.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["iteration", "fit", "cholesky"]);
+        assert_eq!(cp.total_ns, 100);
+        assert!(cp.render().contains("cholesky"));
+        assert!(critical_path(&forest(), "nope").is_none());
+    }
+
+    #[test]
+    fn coverage_measures_decomposition() {
+        let cov = child_coverage(&forest(), "iteration").unwrap();
+        assert_eq!(cov.total_ns, 100);
+        assert_eq!(cov.children_ns, 90);
+        assert!((cov.pct() - 90.0).abs() < 1e-12);
+        assert!(child_coverage(&forest(), "nope").is_none());
+    }
+}

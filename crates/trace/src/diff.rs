@@ -1,0 +1,401 @@
+//! Cross-run trace diffing with bootstrap confidence intervals.
+//!
+//! Comparing two performance runs span-name by span-name on means alone
+//! invites noise-chasing: per-iteration timings are skewed and a handful
+//! of outliers can fabricate a "regression". Instead the relative delta
+//! of each name's mean duration gets a 95% bootstrap confidence interval
+//! (resampling both runs with replacement, seeded and therefore fully
+//! deterministic); a difference counts as *significant* only when the CI
+//! excludes zero **and** the point estimate exceeds the configured
+//! threshold. Diffing a run against itself yields zero significant
+//! entries by construction — the property the CI gate relies on.
+
+use crate::reader::Trace;
+use alperf_obs::json;
+use rand::{rngs::StdRng, RngCore, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Tuning for [`diff_traces`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffConfig {
+    /// RNG seed; the same seed and inputs give byte-identical output.
+    pub seed: u64,
+    /// Bootstrap resamples per span name.
+    pub resamples: usize,
+    /// Relative-change threshold (0.05 = 5%) a significant delta must
+    /// also exceed to be flagged.
+    pub threshold: f64,
+    /// Minimum samples on *both* sides to attempt a bootstrap; below it
+    /// the delta is reported but never flagged significant.
+    pub min_count: usize,
+    /// Cap on samples per side fed to the bootstrap (strided subsample),
+    /// bounding cost on huge traces.
+    pub max_samples: usize,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            seed: 42,
+            resamples: 500,
+            threshold: 0.05,
+            min_count: 5,
+            max_samples: 4096,
+        }
+    }
+}
+
+/// Comparison of one span name across two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanDiff {
+    /// Span name.
+    pub name: String,
+    /// Sample count in run A.
+    pub count_a: u64,
+    /// Sample count in run B.
+    pub count_b: u64,
+    /// Mean duration in run A, ns (NaN when absent).
+    pub mean_a_ns: f64,
+    /// Mean duration in run B, ns (NaN when absent).
+    pub mean_b_ns: f64,
+    /// Relative change of the mean, percent: `(b - a) / a * 100`.
+    pub delta_pct: f64,
+    /// Lower end of the 95% bootstrap CI of `delta_pct` (NaN when the
+    /// bootstrap was not run).
+    pub ci_lo_pct: f64,
+    /// Upper end of the 95% bootstrap CI of `delta_pct`.
+    pub ci_hi_pct: f64,
+    /// CI excludes zero and |delta| exceeds the threshold.
+    pub significant: bool,
+    /// Significant *and* slower in B — the gate-failing direction.
+    pub regression: bool,
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Strided subsample keeping first/last coverage, deterministic.
+fn cap_samples(xs: Vec<f64>, cap: usize) -> Vec<f64> {
+    if xs.len() <= cap {
+        return xs;
+    }
+    let step = xs.len() as f64 / cap as f64;
+    (0..cap).map(|i| xs[(i as f64 * step) as usize]).collect()
+}
+
+fn resampled_mean(xs: &[f64], rng: &mut StdRng) -> f64 {
+    let n = xs.len() as u64;
+    let sum: f64 = (0..xs.len())
+        .map(|_| xs[(rng.next_u64() % n) as usize])
+        .sum();
+    sum / xs.len() as f64
+}
+
+/// Diff two traces per span name (union of names, sorted). Names missing
+/// from one side are reported with zero count and a NaN delta; shared
+/// names with enough samples get a seeded bootstrap CI. Output order:
+/// regressions first, then other significant diffs, then by descending
+/// |delta|, name as final tie-break — deterministic for fixed inputs.
+pub fn diff_traces(a: &Trace, b: &Trace, cfg: &DiffConfig) -> Vec<SpanDiff> {
+    let collect = |t: &Trace| -> BTreeMap<String, Vec<f64>> {
+        let mut by_name: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for s in &t.spans {
+            by_name
+                .entry(s.name.clone())
+                .or_default()
+                .push(s.dur_ns as f64);
+        }
+        by_name
+    };
+    let durs_a = collect(a);
+    let durs_b = collect(b);
+    let names: Vec<&String> = {
+        let mut names: Vec<&String> = durs_a.keys().chain(durs_b.keys()).collect();
+        names.sort();
+        names.dedup();
+        names
+    };
+
+    // One RNG over the name-sorted list: deterministic for fixed inputs.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut diffs = Vec::with_capacity(names.len());
+    for name in names {
+        let xa = durs_a.get(name).cloned().unwrap_or_default();
+        let xb = durs_b.get(name).cloned().unwrap_or_default();
+        let (count_a, count_b) = (xa.len() as u64, xb.len() as u64);
+        let mean_a = if xa.is_empty() { f64::NAN } else { mean(&xa) };
+        let mean_b = if xb.is_empty() { f64::NAN } else { mean(&xb) };
+        let delta_pct = if mean_a > 0.0 {
+            (mean_b - mean_a) / mean_a * 100.0
+        } else {
+            f64::NAN
+        };
+
+        let mut diff = SpanDiff {
+            name: name.clone(),
+            count_a,
+            count_b,
+            mean_a_ns: mean_a,
+            mean_b_ns: mean_b,
+            delta_pct,
+            ci_lo_pct: f64::NAN,
+            ci_hi_pct: f64::NAN,
+            significant: false,
+            regression: false,
+        };
+
+        let enough = xa.len() >= cfg.min_count && xb.len() >= cfg.min_count;
+        if enough && mean_a > 0.0 && delta_pct.is_finite() && cfg.resamples > 0 {
+            let xa = cap_samples(xa, cfg.max_samples);
+            let xb = cap_samples(xb, cfg.max_samples);
+            let mut deltas: Vec<f64> = (0..cfg.resamples)
+                .map(|_| {
+                    let ma = resampled_mean(&xa, &mut rng);
+                    let mb = resampled_mean(&xb, &mut rng);
+                    if ma > 0.0 {
+                        (mb - ma) / ma * 100.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            deltas.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            let pick = |q: f64| deltas[((deltas.len() - 1) as f64 * q).round() as usize];
+            diff.ci_lo_pct = pick(0.025);
+            diff.ci_hi_pct = pick(0.975);
+            let excludes_zero = diff.ci_lo_pct > 0.0 || diff.ci_hi_pct < 0.0;
+            diff.significant = excludes_zero && delta_pct.abs() > cfg.threshold * 100.0;
+            diff.regression = diff.significant && delta_pct > 0.0;
+        }
+        diffs.push(diff);
+    }
+
+    diffs.sort_by(|x, y| {
+        y.regression
+            .cmp(&x.regression)
+            .then(y.significant.cmp(&x.significant))
+            .then(
+                y.delta_pct
+                    .abs()
+                    .partial_cmp(&x.delta_pct.abs())
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(x.name.cmp(&y.name))
+    });
+    diffs
+}
+
+/// Count of significant regressions (the gate-failing entries).
+pub fn significant_regressions(diffs: &[SpanDiff]) -> usize {
+    diffs.iter().filter(|d| d.regression).count()
+}
+
+fn fmt_ms(ns: f64) -> String {
+    if ns.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{:.3}", ns / 1e6)
+    }
+}
+
+fn fmt_pct(p: f64) -> String {
+    if p.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{p:+.2}%")
+    }
+}
+
+/// Human-readable diff table.
+pub fn render_table(diffs: &[SpanDiff]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>7} {:>7} {:>12} {:>12} {:>9} {:>18}  {}\n",
+        "span", "n_a", "n_b", "mean_a_ms", "mean_b_ms", "delta", "95% CI", "verdict"
+    ));
+    for d in diffs {
+        let ci = if d.ci_lo_pct.is_nan() {
+            "-".to_string()
+        } else {
+            format!("[{:+.2}%, {:+.2}%]", d.ci_lo_pct, d.ci_hi_pct)
+        };
+        let verdict = if d.regression {
+            "REGRESSION"
+        } else if d.significant {
+            "improved"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "{:<28} {:>7} {:>7} {:>12} {:>12} {:>9} {:>18}  {}\n",
+            d.name,
+            d.count_a,
+            d.count_b,
+            fmt_ms(d.mean_a_ns),
+            fmt_ms(d.mean_b_ns),
+            fmt_pct(d.delta_pct),
+            ci,
+            verdict
+        ));
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        json::number(v)
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Machine-readable diff report (`alperf-trace-diff-v1`). NaN fields
+/// (absent side, no bootstrap) serialize as `null`.
+pub fn render_json(diffs: &[SpanDiff], cfg: &DiffConfig) -> String {
+    let mut out = String::from("{\"schema\":\"alperf-trace-diff-v1\"");
+    out.push_str(&format!(
+        ",\"seed\":{},\"resamples\":{},\"threshold_pct\":{}",
+        cfg.seed,
+        cfg.resamples,
+        json::number(cfg.threshold * 100.0)
+    ));
+    out.push_str(&format!(
+        ",\"regressions\":{},\"diffs\":[",
+        significant_regressions(diffs)
+    ));
+    for (i, d) in diffs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut name = String::new();
+        json::escape_into(&mut name, &d.name); // emits surrounding quotes
+        out.push_str(&format!(
+            "{{\"name\":{name},\"count_a\":{},\"count_b\":{},\"mean_a_ns\":{},\
+             \"mean_b_ns\":{},\"delta_pct\":{},\"ci_lo_pct\":{},\"ci_hi_pct\":{},\
+             \"significant\":{},\"regression\":{}}}",
+            d.count_a,
+            d.count_b,
+            json_num(d.mean_a_ns),
+            json_num(d.mean_b_ns),
+            json_num(d.delta_pct),
+            json_num(d.ci_lo_pct),
+            json_num(d.ci_hi_pct),
+            d.significant,
+            d.regression
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alperf_obs::event::SpanEvent;
+
+    fn trace_with(durs: &[(&str, &[u64])]) -> Trace {
+        let mut trace = Trace {
+            schema: "alperf-obs-v1".into(),
+            ..Default::default()
+        };
+        let mut id = 1;
+        for (name, ds) in durs {
+            for (k, &d) in ds.iter().enumerate() {
+                trace.spans.push(SpanEvent {
+                    name: name.to_string(),
+                    tid: 1,
+                    id: Some(id),
+                    parent: None,
+                    parent_id: None,
+                    start_ns: k as u64 * 1000,
+                    dur_ns: d,
+                });
+                id += 1;
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn self_diff_has_zero_regressions() {
+        let t = trace_with(&[("fit", &[100, 110, 90, 105, 95, 102, 98])]);
+        let diffs = diff_traces(&t, &t, &DiffConfig::default());
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(significant_regressions(&diffs), 0);
+        assert!(!diffs[0].significant);
+        assert_eq!(diffs[0].delta_pct, 0.0);
+    }
+
+    #[test]
+    fn clear_slowdown_is_flagged_as_regression() {
+        let a = trace_with(&[("fit", &[100, 101, 99, 100, 102, 98, 100, 101])]);
+        let b = trace_with(&[("fit", &[200, 202, 198, 201, 199, 200, 203, 197])]);
+        let diffs = diff_traces(&a, &b, &DiffConfig::default());
+        assert!(diffs[0].regression, "{:?}", diffs[0]);
+        assert!((diffs[0].delta_pct - 100.0).abs() < 5.0);
+        assert!(diffs[0].ci_lo_pct > 0.0);
+        // Opposite direction: significant improvement, not a regression.
+        let diffs = diff_traces(&b, &a, &DiffConfig::default());
+        assert!(diffs[0].significant && !diffs[0].regression);
+    }
+
+    #[test]
+    fn below_min_count_never_significant() {
+        let a = trace_with(&[("fit", &[100, 100])]);
+        let b = trace_with(&[("fit", &[500, 500])]);
+        let diffs = diff_traces(&a, &b, &DiffConfig::default());
+        assert!(!diffs[0].significant);
+        assert!(diffs[0].ci_lo_pct.is_nan());
+        assert!((diffs[0].delta_pct - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_sided_names_reported_not_flagged() {
+        let a = trace_with(&[("only_a", &[10, 10, 10, 10, 10])]);
+        let b = trace_with(&[("only_b", &[20, 20, 20, 20, 20])]);
+        let diffs = diff_traces(&a, &b, &DiffConfig::default());
+        assert_eq!(diffs.len(), 2);
+        for d in &diffs {
+            assert!(!d.significant);
+            assert!(d.delta_pct.is_nan() || d.mean_a_ns.is_nan());
+        }
+        let only_a = diffs.iter().find(|d| d.name == "only_a").unwrap();
+        assert_eq!((only_a.count_a, only_a.count_b), (5, 0));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = trace_with(&[("fit", &[100, 120, 90, 105, 95, 130, 85])]);
+        let b = trace_with(&[("fit", &[110, 125, 95, 115, 100, 140, 90])]);
+        let cfg = DiffConfig::default();
+        let d1 = diff_traces(&a, &b, &cfg);
+        let d2 = diff_traces(&a, &b, &cfg);
+        assert_eq!(d1, d2);
+        assert_eq!(render_json(&d1, &cfg), render_json(&d2, &cfg));
+        let other = diff_traces(&a, &b, &DiffConfig { seed: 7, ..cfg });
+        // Same decision, (almost surely) different CI endpoints.
+        assert_eq!(d1[0].significant, other[0].significant);
+    }
+
+    #[test]
+    fn renders_table_and_json() {
+        let a = trace_with(&[("fit", &[100, 101, 99, 100, 102, 98])]);
+        let b = trace_with(&[("fit", &[300, 301, 299, 300, 302, 298])]);
+        let cfg = DiffConfig::default();
+        let diffs = diff_traces(&a, &b, &cfg);
+        let table = render_table(&diffs);
+        assert!(table.contains("fit"));
+        assert!(table.contains("REGRESSION"));
+        let jsonl = render_json(&diffs, &cfg);
+        let parsed = json::parse(&jsonl).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(|s| s.as_str()),
+            Some("alperf-trace-diff-v1")
+        );
+        assert_eq!(
+            parsed.get("regressions").and_then(|r| r.as_f64()),
+            Some(1.0)
+        );
+    }
+}

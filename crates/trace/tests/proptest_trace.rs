@@ -1,0 +1,78 @@
+//! Property test: arbitrary span trees written through the v1 wire format
+//! read back losslessly, and the reconstructed forest reproduces the
+//! generating parent structure exactly.
+
+use alperf_obs::event::SpanEvent;
+use alperf_trace::{folded_stacks, read_trace, SpanForest};
+use proptest::prelude::*;
+
+const META: &str = "{\"v\":1,\"t\":\"meta\",\"schema\":\"alperf-obs-v1\",\"unit\":\"ns\"}";
+const NAMES: [&str; 5] = ["al.iteration", "gp.fit", "gp.fit.restart", "chol", "x;y z"];
+
+/// Deterministically derive a span tree from per-node seeds: node 0 is
+/// the root, node `i > 0` hangs under `seeds[i] % i`. Returns the spans
+/// in children-close-first emission order plus the parent index table.
+fn tree_from_seeds(seeds: &[u64]) -> (Vec<SpanEvent>, Vec<Option<usize>>) {
+    let n = seeds.len();
+    let mut parents: Vec<Option<usize>> = vec![None; n];
+    let mut spans = Vec::with_capacity(n);
+    for i in 0..n {
+        let parent_idx = if i == 0 {
+            None
+        } else {
+            Some((seeds[i] % i as u64) as usize)
+        };
+        parents[i] = parent_idx;
+        spans.push(SpanEvent {
+            name: NAMES[(seeds[i] % NAMES.len() as u64) as usize].to_string(),
+            tid: seeds[i] % 3 + 1,
+            id: Some(i as u64 + 1),
+            parent: parent_idx.map(|p| NAMES[(seeds[p] % NAMES.len() as u64) as usize].to_string()),
+            parent_id: parent_idx.map(|p| p as u64 + 1),
+            start_ns: i as u64 * 1_000,
+            dur_ns: seeds[i] % 500_000,
+        });
+    }
+    // Guards drop innermost-first: deeper nodes (higher index) close first.
+    spans.reverse();
+    (spans, parents)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn writer_reader_round_trip_is_lossless(
+        seeds in prop::collection::vec(0u64..1_000_000, 1..24),
+    ) {
+        let (spans, parents) = tree_from_seeds(&seeds);
+
+        let mut text = String::from(META);
+        text.push('\n');
+        for s in &spans {
+            text.push_str(&s.to_line());
+            text.push('\n');
+        }
+
+        let trace = read_trace(text.as_bytes()).expect("written trace must read");
+        prop_assert_eq!(&trace.spans, &spans, "wire round trip dropped information");
+
+        let forest = SpanForest::build(&trace.spans).expect("generated tree must connect");
+        prop_assert_eq!(forest.len(), seeds.len());
+        prop_assert_eq!(forest.roots.len(), 1);
+        // The reconstructed parent of node id i+1 must be id parents[i]+1.
+        for node in &forest.nodes {
+            let i = (node.span.id.unwrap() - 1) as usize;
+            let got = node.parent.map(|p| forest.nodes[p].span.id.unwrap());
+            prop_assert_eq!(got, parents[i].map(|p| p as u64 + 1));
+        }
+
+        // Folded export is deterministic and covers every leaf path.
+        let folded = folded_stacks(&forest);
+        prop_assert_eq!(&folded, &folded_stacks(&forest));
+        let leaves = forest.nodes.iter().filter(|n| n.children.is_empty()).count();
+        prop_assert!(folded.lines().count() >= 1);
+        prop_assert!(folded.lines().count() <= forest.len());
+        prop_assert!(leaves >= 1);
+    }
+}
