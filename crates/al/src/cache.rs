@@ -111,6 +111,14 @@ impl PoolPredictionCache {
         if self.kxt.is_none() {
             return;
         }
+        if x_new.len() != self.x.ncols() {
+            // A malformed append (wrong input dimension) must not corrupt
+            // the cached matrix: reject it and fall back to a rebuild on
+            // the next `predictions` call.
+            alperf_obs::inc("al.cache.append_reject");
+            self.invalidate();
+            return;
+        }
         if kernel.params() != self.params {
             self.invalidate();
             return;
@@ -207,6 +215,23 @@ mod tests {
         assert!(!cache.is_warm_for(&m1));
         // And it recovers transparently.
         assert_eq!(cache.predictions(&m1).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn extend_with_wrong_dimension_invalidates_instead_of_corrupting() {
+        let pool_x = Matrix::from_fn(4, 2, |i, j| (i + j) as f64);
+        let train_x = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64 * 0.5);
+        let y = vec![0.0, 1.0, 0.5];
+        let mut cache = PoolPredictionCache::new(pool_x);
+        let m = fit(&train_x, &y, 1.0);
+        cache.predictions(&m).unwrap();
+        assert!(cache.is_warm_for(&m));
+        // 3 coordinates into a 2-D cache: rejected, cache cold but intact.
+        cache.extend_train(&[1.0, 2.0, 3.0], m.kernel());
+        assert!(!cache.is_warm_for(&m));
+        let via_cache = cache.predictions(&m).unwrap();
+        let direct = m.predict_batch(cache.candidates()).unwrap();
+        assert_eq!(via_cache, direct);
     }
 
     #[test]

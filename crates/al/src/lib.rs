@@ -35,9 +35,11 @@ pub mod continuous;
 pub mod convergence;
 pub mod emcm;
 pub mod metrics;
+pub mod oracle;
 pub mod runner;
 pub mod strategy;
 pub mod tradeoff;
 
-pub use runner::{AlConfig, AlRun, IterationRecord};
+pub use oracle::{DatasetOracle, ExperimentOracle, ExperimentOutcome, SeededFaultOracle};
+pub use runner::{AlConfig, AlRun, IterationRecord, LostExperiment};
 pub use strategy::{CostEfficiency, RandomSampling, Strategy, VarianceReduction};

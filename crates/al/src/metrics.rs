@@ -91,6 +91,7 @@ mod tests {
                 })
                 .collect(),
             final_train: vec![],
+            lost: vec![],
         }
     }
 

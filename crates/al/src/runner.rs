@@ -17,11 +17,13 @@
 //! rows — the noisy-function requirement of Section III.
 
 use crate::cache::PoolPredictionCache;
+use crate::oracle::{DatasetOracle, ExperimentOracle, ExperimentOutcome};
 use crate::strategy::{SelectionContext, Strategy};
 use alperf_data::partition::Partition;
 use alperf_gp::model::{GpError, Gpr};
 use alperf_gp::optimize::{fit_gpr, GprConfig};
 use alperf_linalg::matrix::Matrix;
+use alperf_obs::names;
 use alperf_obs::Value;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -87,15 +89,33 @@ pub struct IterationRecord {
     pub noise_std: f64,
 }
 
+/// A selected experiment that the oracle lost to a fault: the runner
+/// charged its cost, dropped the candidate, and carried on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LostExperiment {
+    /// Iteration (0-based) on which the loss happened.
+    pub iter: usize,
+    /// Dataset row whose measurement was lost.
+    pub row: usize,
+    /// Execution attempts the oracle burned before giving up.
+    pub attempts: u32,
+    /// Cost charged for the lost experiment.
+    pub cost: f64,
+}
+
 /// A completed AL run.
 #[derive(Debug, Clone)]
 pub struct AlRun {
     /// Strategy name.
     pub strategy: &'static str,
-    /// Per-iteration records, in order.
+    /// Per-iteration records, in order (degraded iterations are absent
+    /// here — see `lost`).
     pub history: Vec<IterationRecord>,
     /// Rows in the training set at the end (initial + selected).
     pub final_train: Vec<usize>,
+    /// Experiments lost to faults, in iteration order (empty under the
+    /// default [`crate::oracle::DatasetOracle`]).
+    pub lost: Vec<LostExperiment>,
 }
 
 impl AlRun {
@@ -184,6 +204,34 @@ pub fn run_al(
     strategy: &mut dyn Strategy,
     config: &AlConfig,
 ) -> Result<AlRun, AlError> {
+    run_al_with_oracle(
+        x_all,
+        y_all,
+        cost,
+        partition,
+        strategy,
+        &DatasetOracle,
+        config,
+    )
+}
+
+/// [`run_al`] with an explicit [`ExperimentOracle`] deciding each selected
+/// experiment's fate. Under a faulty oracle the loop degrades gracefully:
+/// a [`ExperimentOutcome::Lost`] experiment is charged its cost, flagged in
+/// the telemetry stream (`al.degraded_iteration` counter + record), and
+/// removed from the pool — the next iteration re-selects from the
+/// survivors instead of aborting. Lost experiments are reported in
+/// [`AlRun::lost`]; the metric history only contains iterations that
+/// produced a measurement.
+pub fn run_al_with_oracle(
+    x_all: &Matrix,
+    y_all: &[f64],
+    cost: &[f64],
+    partition: &Partition,
+    strategy: &mut dyn Strategy,
+    oracle: &dyn ExperimentOracle,
+    config: &AlConfig,
+) -> Result<AlRun, AlError> {
     let n = x_all.nrows();
     if y_all.len() != n || cost.len() != n {
         return Err(AlError::BadPartition(format!(
@@ -202,6 +250,7 @@ pub fn run_al(
     let test = &partition.test;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut history = Vec::new();
+    let mut lost: Vec<LostExperiment> = Vec::new();
     let mut cumulative_cost: f64 = train.iter().map(|&i| cost[i]).sum();
     let mut model: Option<Gpr> = None;
 
@@ -391,7 +440,40 @@ pub fn run_al(
         };
         drop(select_span);
         let row = pool[pos];
+        // "Run" the experiment through the oracle. Either way its cost is
+        // charged — the paper counts failed experiments against the budget.
+        let outcome = oracle.run_experiment(row);
         cumulative_cost += cost[row];
+        if let ExperimentOutcome::Lost { attempts } = outcome {
+            // Graceful degradation: flag the loss, drop the candidate from
+            // the pool (its measurement cannot be obtained), and re-select
+            // from the survivors next iteration. The model, training set,
+            // and cache->train mapping are untouched.
+            if obs_on {
+                alperf_obs::inc(names::AL_DEGRADED_ITERATION);
+                alperf_obs::record(
+                    names::AL_DEGRADED_ITERATION,
+                    &[
+                        ("run", Value::U64(run_id)),
+                        ("iter", Value::U64(iter as u64)),
+                        ("row", Value::U64(row as u64)),
+                        ("attempts", Value::U64(attempts as u64)),
+                        ("pool_size", Value::U64(pool.len() as u64)),
+                        ("cum_cost", Value::F64(cumulative_cost)),
+                    ],
+                );
+            }
+            lost.push(LostExperiment {
+                iter,
+                row,
+                attempts,
+                cost: cost[row],
+            });
+            pool.swap_remove(pos);
+            pool_cache.swap_remove(pos);
+            continue;
+        }
+        let attempts = outcome.attempts();
         if obs_on {
             alperf_obs::record(
                 "al.iteration",
@@ -411,6 +493,7 @@ pub fn run_al(
                     ("cum_cost", Value::F64(cumulative_cost)),
                     ("lml", Value::F64(m.lml())),
                     ("noise", Value::F64(m.noise_std())),
+                    ("attempts", Value::U64(attempts as u64)),
                 ],
             );
             // (The stage spans above already record into the
@@ -447,6 +530,7 @@ pub fn run_al(
         strategy: strategy.name(),
         history,
         final_train: train,
+        lost,
     })
 }
 

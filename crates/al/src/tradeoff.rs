@@ -218,6 +218,7 @@ mod tests {
                 })
                 .collect(),
             final_train: vec![],
+            lost: vec![],
         }
     }
 

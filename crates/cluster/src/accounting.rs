@@ -7,7 +7,7 @@
 //! wait-time distribution) and to give downstream users the familiar
 //! per-job table.
 
-use crate::job::JobRecord;
+use crate::job::{FailedJob, JobRecord};
 use alperf_hpgmg::model::MachineSpec;
 use alperf_linalg::stats;
 
@@ -26,16 +26,34 @@ pub struct QueueStats {
     pub busy_node_seconds: f64,
     /// Cluster utilization: busy node-seconds / (nodes x makespan).
     pub utilization: f64,
-    /// Total core-seconds billed (runtime x NP), the paper's cost unit.
+    /// Total core-seconds billed: completed-job cost **plus** the compute
+    /// burned by failed jobs — the paper charges failed experiments
+    /// against the budget.
     pub total_cost: f64,
+    /// Number of jobs that exhausted their retry budget.
+    pub n_failed: usize,
+    /// Core-seconds charged to failed jobs (included in `total_cost`).
+    pub failed_cost: f64,
 }
 
-/// Compute queue statistics for a batch.
+/// Compute queue statistics for a batch with no failed jobs.
 pub fn queue_stats(records: &[JobRecord], machine: &MachineSpec) -> QueueStats {
+    queue_stats_with_failures(records, &[], machine)
+}
+
+/// Compute queue statistics for a batch, charging failed jobs' burned
+/// compute into `total_cost`/`failed_cost`.
+pub fn queue_stats_with_failures(
+    records: &[JobRecord],
+    failures: &[FailedJob],
+    machine: &MachineSpec,
+) -> QueueStats {
     let waits: Vec<f64> = records.iter().map(|r| r.wait_time()).collect();
     let makespan = records.iter().map(|r| r.end_time()).fold(0.0f64, f64::max);
     let busy: f64 = records.iter().map(|r| r.runtime * r.nodes as f64).sum();
     let capacity = machine.nodes as f64 * makespan;
+    let completed_cost: f64 = records.iter().map(|r| r.cost()).sum();
+    let failed_cost: f64 = failures.iter().map(|f| f.charged_cost).sum();
     QueueStats {
         n_jobs: records.len(),
         mean_wait: stats::mean(&waits),
@@ -43,18 +61,20 @@ pub fn queue_stats(records: &[JobRecord], machine: &MachineSpec) -> QueueStats {
         makespan,
         busy_node_seconds: busy,
         utilization: if capacity > 0.0 { busy / capacity } else { 0.0 },
-        total_cost: records.iter().map(|r| r.cost()).sum(),
+        total_cost: completed_cost + failed_cost,
+        n_failed: failures.len(),
+        failed_cost,
     }
 }
 
 /// Render records as a `sacct`-style CSV table.
 pub fn to_sacct_csv(records: &[JobRecord]) -> String {
     let mut out = String::from(
-        "JobID,Operator,Size,NP,Freq,Repeat,Submit,Start,End,Elapsed,NNodes,CoreSeconds,EnergyJ,PowerSamples\n",
+        "JobID,Operator,Size,NP,Freq,Repeat,Submit,Start,End,Elapsed,NNodes,CoreSeconds,EnergyJ,PowerSamples,Attempts\n",
     );
     for (id, r) in records.iter().enumerate() {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             id,
             r.request.op.name(),
             r.request.size,
@@ -69,6 +89,7 @@ pub fn to_sacct_csv(records: &[JobRecord]) -> String {
             r.cost(),
             r.energy.map(|e| e.to_string()).unwrap_or_default(),
             r.power_samples,
+            r.attempts,
         ));
     }
     out
@@ -100,6 +121,7 @@ mod tests {
             },
             memory_per_node: 2e9,
             power_samples: runtime as usize,
+            attempts: 1,
         }
     }
 
@@ -147,8 +169,43 @@ mod tests {
         assert!(lines[1].contains("poisson1"));
         let fields: Vec<&str> = lines[2].split(',').collect();
         assert_eq!(fields[12], "", "short job must have empty EnergyJ");
-        // Round-trippable count of columns.
-        assert_eq!(fields.len(), 14);
+        // Round-trippable count of columns (Attempts is the trailing one).
+        assert_eq!(fields.len(), 15);
+        assert_eq!(fields[14], "1");
+    }
+
+    #[test]
+    fn failed_jobs_charge_the_budget() {
+        let machine = MachineSpec::cloudlab_wisconsin();
+        let recs = vec![record(0.0, 10.0, 4, 64)];
+        let failures = vec![
+            FailedJob {
+                request: recs[0].request,
+                attempts: 3,
+                fault: crate::fault::Fault {
+                    kind: crate::fault::FaultKind::WorkerTimeout,
+                    persistence: crate::fault::Persistence::Permanent,
+                },
+                charged_cost: 120.0,
+            },
+            FailedJob {
+                request: recs[0].request,
+                attempts: 3,
+                fault: crate::fault::Fault {
+                    kind: crate::fault::FaultKind::SchedulerReject,
+                    persistence: crate::fault::Persistence::Permanent,
+                },
+                charged_cost: 0.0,
+            },
+        ];
+        let s = queue_stats_with_failures(&recs, &failures, &machine);
+        assert_eq!(s.n_failed, 2);
+        assert_eq!(s.failed_cost, 120.0);
+        assert_eq!(s.total_cost, 10.0 * 64.0 + 120.0);
+        // The failure-free wrapper stays backward compatible.
+        let plain = queue_stats(&recs, &machine);
+        assert_eq!(plain.n_failed, 0);
+        assert_eq!(plain.total_cost, 640.0);
     }
 
     #[test]

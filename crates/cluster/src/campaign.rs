@@ -12,15 +12,15 @@
 //! Both come back as [`alperf_data::DataSet`]s with the Table I columns:
 //! `Operator` (categorical), `Global Problem Size`, `NP`, `CPU Frequency`.
 
-use crate::executor;
-use crate::job::{JobRecord, JobRequest};
+use crate::executor::{self, ExecError, JobOutcome};
+use crate::fault::{FaultPlan, RetryPolicy};
+use crate::job::{FailedJob, JobRecord, JobRequest};
 use crate::power::PowerSampler;
-use crate::scheduler;
+use crate::scheduler::{self, ScheduleError};
 use crate::workload::{self, WorkloadSpec};
 use alperf_data::dataset::{DataSet, DataSetError};
 use alperf_hpgmg::model::PerfModel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use alperf_obs::{names, Value};
 
 /// Column names used in the generated datasets (Table I's variables).
 pub const COL_OPERATOR: &str = "Operator";
@@ -48,6 +48,8 @@ pub struct Campaign {
     pub sampler: PowerSampler,
     /// Worker threads for the measurement executor.
     pub workers: usize,
+    /// Retry policy for faulted jobs.
+    pub retry: RetryPolicy,
 }
 
 impl Default for Campaign {
@@ -57,7 +59,50 @@ impl Default for Campaign {
             model: PerfModel::calibrated(),
             sampler: PowerSampler::default(),
             workers: 8,
+            retry: RetryPolicy::default(),
         }
+    }
+}
+
+/// Anything that can abort a campaign.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Dataset assembly failed.
+    Data(DataSetError),
+    /// The measurement executor failed at the infrastructure level
+    /// (per-job faults are data, not errors — see [`CampaignOutput::failures`]).
+    Exec(ExecError),
+    /// The scheduler rejected the batch.
+    Schedule(ScheduleError),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Data(e) => write!(f, "dataset assembly: {e:?}"),
+            CampaignError::Exec(e) => write!(f, "executor: {e}"),
+            CampaignError::Schedule(e) => write!(f, "scheduler: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<DataSetError> for CampaignError {
+    fn from(e: DataSetError) -> Self {
+        CampaignError::Data(e)
+    }
+}
+
+impl From<ExecError> for CampaignError {
+    fn from(e: ExecError) -> Self {
+        CampaignError::Exec(e)
+    }
+}
+
+impl From<ScheduleError> for CampaignError {
+    fn from(e: ScheduleError) -> Self {
+        CampaignError::Schedule(e)
     }
 }
 
@@ -66,6 +111,9 @@ impl Default for Campaign {
 pub struct CampaignOutput {
     /// Accounting records for every completed job.
     pub records: Vec<JobRecord>,
+    /// Jobs that exhausted their retry budget, with the compute cost they
+    /// burned (charged against the budget — nothing vanishes silently).
+    pub failures: Vec<FailedJob>,
     /// The Performance dataset (response: Runtime).
     pub performance: DataSet,
     /// The Power dataset (responses: Runtime, Energy).
@@ -75,43 +123,122 @@ pub struct CampaignOutput {
 }
 
 impl Campaign {
+    /// The fault plan this campaign injects: seeded from the workload seed
+    /// (on an independent stream from measurement noise) at the spec's
+    /// `failure_rate`. A rate of zero yields a plan that never fires.
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::new(self.spec.seed ^ 0xfa17_9a71, self.spec.failure_rate)
+    }
+
     /// Run the whole pipeline.
     ///
     /// ```no_run
     /// let out = alperf_cluster::Campaign::default().run().unwrap();
-    /// println!("{} performance jobs, {} with energy estimates",
-    ///          out.performance.n_rows(), out.power.n_rows());
+    /// println!("{} performance jobs, {} with energy estimates ({} failed)",
+    ///          out.performance.n_rows(), out.power.n_rows(), out.failures.len());
     /// ```
     ///
+    /// Jobs fault according to [`Campaign::fault_plan`]; fatal faults are
+    /// retried under [`Campaign::retry`], and jobs that exhaust their
+    /// budget land in [`CampaignOutput::failures`] with the compute cost
+    /// they burned — the paper charges failed experiments, so nothing is
+    /// silently dropped anymore.
+    ///
     /// # Errors
-    /// Propagates dataset-assembly errors (cannot occur with the built-in
-    /// column layout, but the types are honest).
-    pub fn run(&self) -> Result<CampaignOutput, DataSetError> {
+    /// Propagates dataset-assembly, executor-infrastructure, and
+    /// scheduler-rejection errors. Per-job faults are *not* errors.
+    pub fn run(&self) -> Result<CampaignOutput, CampaignError> {
         let requests = workload::build_requests(&self.spec, &self.model);
-        // Random job failures (infrastructure flakiness) — applied before
-        // scheduling, as failed jobs leave no usable record.
-        let mut rng = StdRng::seed_from_u64(self.spec.seed ^ 0x5eed);
-        let survivors: Vec<JobRequest> = requests
-            .into_iter()
-            .filter(|_| rng.gen_range(0.0..1.0) >= self.spec.failure_rate)
-            .collect();
-        // Measure runtimes + traces (concurrently, deterministically).
-        let measurements = executor::measure_all(
+        let plan = self.fault_plan();
+        // One record per campaign with every parameter needed to replay
+        // the exact fault/retry behaviour (consumed by `chaos_replay`).
+        alperf_obs::record(
+            names::CLUSTER_FAULT_PLAN,
+            &[
+                ("plan_seed", Value::U64(plan.seed)),
+                ("failure_rate", Value::F64(plan.failure_rate)),
+                ("permanent_fraction", Value::F64(plan.permanent_fraction)),
+                (
+                    "second_attempt_fraction",
+                    Value::F64(plan.second_attempt_fraction),
+                ),
+                ("campaign_seed", Value::U64(self.spec.seed)),
+                (
+                    "focus_size_levels",
+                    Value::U64(self.spec.focus_size_levels as u64),
+                ),
+                (
+                    "default_size_levels",
+                    Value::U64(self.spec.default_size_levels as u64),
+                ),
+                ("repeats", Value::U64(self.spec.repeats as u64)),
+                ("workers", Value::U64(self.workers as u64)),
+                ("max_attempts", Value::U64(self.retry.max_attempts as u64)),
+                ("base_backoff_ns", Value::U64(self.retry.base_backoff_ns)),
+                ("multiplier", Value::F64(self.retry.multiplier)),
+                ("max_backoff_ns", Value::U64(self.retry.max_backoff_ns)),
+                ("jitter", Value::F64(self.retry.jitter)),
+                ("n_jobs", Value::U64(requests.len() as u64)),
+            ],
+        );
+        // Measure runtimes + traces (concurrently, deterministically),
+        // injecting faults and retrying at the executor boundary.
+        let outcomes = executor::measure_all(
             &self.model,
             &self.sampler,
-            &survivors,
+            &requests,
             self.spec.seed,
             self.workers,
-        );
-        // Schedule the batch for realistic start times / makespan.
+            Some(&plan),
+            &self.retry,
+        )?;
+        // Partition: completed jobs proceed to scheduling; failures are
+        // charged the compute their attempts burned (the model's expected
+        // runtime per attempt — the noisy measurement never materialized).
+        let mut survivors: Vec<JobRequest> = Vec::new();
+        let mut measurements = Vec::new();
+        let mut attempts_per_job = Vec::new();
+        let mut failures: Vec<FailedJob> = Vec::new();
+        for (req, outcome) in requests.iter().zip(outcomes) {
+            match outcome {
+                JobOutcome::Ok {
+                    measurement,
+                    attempts,
+                    ..
+                } => {
+                    survivors.push(*req);
+                    measurements.push(measurement);
+                    attempts_per_job.push(attempts);
+                }
+                JobOutcome::Failed {
+                    attempts, fault, ..
+                } => {
+                    let charged_cost = if fault.kind.charges_compute() {
+                        attempts as f64
+                            * self.model.runtime_mean(req.op, req.size, req.np, req.freq)
+                            * req.np as f64
+                    } else {
+                        0.0
+                    };
+                    failures.push(FailedJob {
+                        request: *req,
+                        attempts,
+                        fault,
+                        charged_cost,
+                    });
+                }
+            }
+        }
+        // Schedule the completed batch for realistic start times / makespan.
         let runtimes: Vec<f64> = measurements.iter().map(|m| m.runtime).collect();
-        let sched = scheduler::schedule_batch(&self.model, &survivors, &runtimes);
+        let sched = scheduler::try_schedule_batch(&self.model, &survivors, &runtimes)?;
         // Assemble records with energy integration.
         let records: Vec<JobRecord> = survivors
             .iter()
             .zip(&measurements)
+            .zip(&attempts_per_job)
             .zip(&sched.placements)
-            .map(|((req, m), &(start, nodes))| {
+            .map(|(((req, m), &attempts), &(start, nodes))| {
                 let energy = self.sampler.integrate(m.runtime, &m.trace);
                 JobRecord {
                     request: *req,
@@ -122,6 +249,7 @@ impl Campaign {
                     energy,
                     memory_per_node: m.memory_per_node,
                     power_samples: m.trace.len(),
+                    attempts,
                 }
             })
             .collect();
@@ -129,6 +257,7 @@ impl Campaign {
         let power = records_to_power_dataset(&records)?;
         Ok(CampaignOutput {
             records,
+            failures,
             performance,
             power,
             makespan: sched.makespan,
@@ -310,5 +439,83 @@ mod tests {
     fn empty_records_make_empty_power_dataset() {
         let d = records_to_power_dataset(&[]).unwrap();
         assert_eq!(d.n_rows(), 0);
+    }
+
+    #[test]
+    fn failures_are_accounted_not_dropped() {
+        let c = Campaign {
+            spec: WorkloadSpec {
+                focus_size_levels: 8,
+                default_size_levels: 3,
+                failure_rate: 0.3,
+                ..Default::default()
+            },
+            workers: 4,
+            ..Default::default()
+        };
+        let out = c.run().unwrap();
+        let n_requests = crate::workload::build_requests(&c.spec, &c.model).len();
+        // Every submitted job is either a record or a failure.
+        assert_eq!(out.records.len() + out.failures.len(), n_requests);
+        assert!(!out.failures.is_empty(), "rate 0.3 must fail some jobs");
+        // Failures carry fatal faults and non-negative charged cost;
+        // anything that burned compute charges a positive cost.
+        for f in &out.failures {
+            assert!(f.fault.kind.is_fatal());
+            assert!(f.attempts >= 1);
+            if f.fault.kind.charges_compute() {
+                assert!(f.charged_cost > 0.0, "{:?}", f.fault.kind);
+            } else {
+                assert_eq!(f.charged_cost, 0.0);
+            }
+        }
+        // Retried-then-recovered jobs surface in the records.
+        assert!(out.records.iter().any(|r| r.attempts > 1));
+        // And the budget totals include the failed-run cost.
+        let machine = alperf_hpgmg::model::MachineSpec::cloudlab_wisconsin();
+        let stats =
+            crate::accounting::queue_stats_with_failures(&out.records, &out.failures, &machine);
+        assert_eq!(stats.n_failed, out.failures.len());
+        assert!(stats.failed_cost > 0.0);
+        let completed: f64 = out.records.iter().map(|r| r.cost()).sum();
+        assert!((stats.total_cost - completed - stats.failed_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chaos_campaign_identical_across_worker_counts() {
+        let mk = |workers: usize| Campaign {
+            spec: WorkloadSpec {
+                focus_size_levels: 6,
+                default_size_levels: 2,
+                failure_rate: 0.3,
+                ..Default::default()
+            },
+            workers,
+            ..Default::default()
+        };
+        let base = mk(1).run().unwrap();
+        for workers in [2, 8] {
+            let out = mk(workers).run().unwrap();
+            assert_eq!(out.records, base.records, "workers={workers}");
+            assert_eq!(out.failures, base.failures, "workers={workers}");
+            assert_eq!(out.makespan, base.makespan, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn zero_failure_rate_fails_nothing() {
+        let c = Campaign {
+            spec: WorkloadSpec {
+                focus_size_levels: 4,
+                default_size_levels: 2,
+                failure_rate: 0.0,
+                ..Default::default()
+            },
+            workers: 2,
+            ..Default::default()
+        };
+        let out = c.run().unwrap();
+        assert!(out.failures.is_empty());
+        assert!(out.records.iter().all(|r| r.attempts == 1));
     }
 }

@@ -61,6 +61,9 @@ pub struct JobRecord {
     pub memory_per_node: f64,
     /// Number of power-trace samples that survived gap injection.
     pub power_samples: usize,
+    /// Execution attempts consumed (1 = first try succeeded; >1 means
+    /// transient faults were retried away).
+    pub attempts: u32,
 }
 
 impl JobRecord {
@@ -79,6 +82,23 @@ impl JobRecord {
     pub fn cost(&self) -> f64 {
         self.runtime * self.request.np as f64
     }
+}
+
+/// A job that exhausted its retry budget — the accounting trace of a
+/// failed experiment. The paper charges failed runs against the
+/// measurement budget, so the record keeps the compute cost the failure
+/// consumed before giving up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedJob {
+    /// The request that failed.
+    pub request: JobRequest,
+    /// Execution attempts consumed.
+    pub attempts: u32,
+    /// The fault observed on the final attempt.
+    pub fault: crate::fault::Fault,
+    /// Compute cost charged for the failed attempts (core-seconds); zero
+    /// for faults that never consumed compute (scheduler rejects).
+    pub charged_cost: f64,
 }
 
 #[cfg(test)]
@@ -122,6 +142,7 @@ mod tests {
             energy: Some(5e3),
             memory_per_node: 1e9,
             power_samples: 12,
+            attempts: 1,
         };
         assert_eq!(r.end_time(), 125.0);
         assert_eq!(r.wait_time(), 15.0);

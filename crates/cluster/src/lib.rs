@@ -27,10 +27,13 @@
 pub mod accounting;
 pub mod campaign;
 pub mod executor;
+pub mod fault;
 pub mod job;
 pub mod power;
 pub mod scheduler;
 pub mod workload;
 
 pub use campaign::{Campaign, CampaignOutput};
-pub use job::{JobRecord, JobRequest};
+pub use executor::{ExecError, JobOutcome};
+pub use fault::{Fault, FaultKind, FaultPlan, Persistence, RetryPolicy};
+pub use job::{FailedJob, JobRecord, JobRequest};

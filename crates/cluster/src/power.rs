@@ -109,7 +109,10 @@ impl PowerSampler {
     ///
     /// Returns `None` if the trace fails [`PowerSampler::trace_passes`].
     pub fn integrate(&self, runtime: f64, trace: &[PowerSample]) -> Option<f64> {
-        if !self.trace_passes(runtime, trace.len()) {
+        // Explicit empty guard: with `min_samples_per_minute == 0` the rate
+        // filter lets an empty trace through (fault injection produces
+        // exactly these — an IPMI dropout on a permissive sampler).
+        if trace.is_empty() || !self.trace_passes(runtime, trace.len()) {
             return None;
         }
         let mut joules = 0.0;
@@ -120,7 +123,7 @@ impl PowerSampler {
             joules += 0.5 * (w[0].watts + w[1].watts) * dt;
         }
         // Trailing edge: extend last sample to t = runtime.
-        let last = trace.last().expect("trace_passes guarantees >= 2 samples");
+        let last = trace.last().expect("non-empty checked above");
         joules += last.watts * (runtime - last.t).max(0.0);
         Some(joules)
     }
@@ -250,5 +253,16 @@ mod tests {
         let s = PowerSampler::default();
         let mut rng = StdRng::seed_from_u64(0);
         assert!(s.sample_trace(0.0, 100.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn empty_trace_never_panics_even_with_permissive_filter() {
+        // min_samples_per_minute = 0 disables the rate filter; an injected
+        // IPMI dropout then hands integrate() an empty trace.
+        let s = PowerSampler {
+            min_samples_per_minute: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(s.integrate(60.0, &[]), None);
     }
 }

@@ -1,7 +1,11 @@
 //! Property-based tests for the cluster simulator: scheduler conservation
-//! laws, power-trace integration bounds, and the performance model's
-//! physical sanity over random job parameters.
+//! laws, power-trace integration bounds, the performance model's
+//! physical sanity over random job parameters, and chaos determinism —
+//! fault/retry outcomes are bit-identical across worker counts and queue
+//! orders for any fault-plan seed.
 
+use alperf_cluster::executor::{measure_all, JobOutcome};
+use alperf_cluster::fault::{Fault, FaultPlan, RetryPolicy};
 use alperf_cluster::job::JobRequest;
 use alperf_cluster::power::{PowerSample, PowerSampler};
 use alperf_cluster::scheduler::schedule_batch;
@@ -124,5 +128,98 @@ proptest! {
     fn job_seeds_differ(a in any_request(), b in any_request()) {
         prop_assume!(a != b);
         prop_assert_ne!(a.seed(1), b.seed(1));
+    }
+}
+
+/// Jobs small enough that measuring a batch stays cheap (trace sampling is
+/// O(runtime), and the big end of the Table I box runs for minutes).
+fn small_request() -> impl Strategy<Value = JobRequest> {
+    (
+        0usize..3,
+        1e3..1e6f64,
+        prop::sample::select(vec![1usize, 8, 16, 32, 64]),
+        prop::sample::select(vec![1.2f64, 1.8, 2.4]),
+        0usize..3,
+    )
+        .prop_map(|(op, size, np, freq, repeat)| JobRequest {
+            op: OperatorKind::all()[op],
+            size,
+            np,
+            freq,
+            repeat,
+        })
+}
+
+/// A `JobOutcome` stripped of its batch index: the per-job payload that
+/// must be invariant under queue reordering.
+type NormalizedOutcome = (
+    Option<(u64, u64, Vec<PowerSample>)>,
+    Option<Fault>,
+    u32,
+    u64,
+);
+
+fn normalize(o: &JobOutcome) -> NormalizedOutcome {
+    match o {
+        JobOutcome::Ok {
+            measurement,
+            attempts,
+            backoff_ns,
+        } => (
+            Some((
+                measurement.runtime.to_bits(),
+                measurement.memory_per_node.to_bits(),
+                measurement.trace.clone(),
+            )),
+            None,
+            *attempts,
+            *backoff_ns,
+        ),
+        JobOutcome::Failed {
+            attempts,
+            fault,
+            backoff_ns,
+            ..
+        } => (None, Some(*fault), *attempts, *backoff_ns),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Chaos determinism: for ANY fault-plan seed and failure rate, the
+    /// `JobOutcome` vector is bit-identical across worker counts {1, 2, 8},
+    /// and per-job outcomes are invariant under queue reordering (faults
+    /// and backoffs derive from job identity, never from shared state) —
+    /// the fault-injection mirror of the obs on/off determinism test.
+    #[test]
+    fn chaos_outcomes_deterministic_across_workers_and_order(
+        reqs in prop::collection::vec(small_request(), 1..12),
+        plan_seed in 0u64..1000,
+        rate in 0.0..1.001f64,
+        campaign_seed in 0u64..50,
+    ) {
+        let model = PerfModel::calibrated();
+        let sampler = PowerSampler::default();
+        let plan = FaultPlan::new(plan_seed, rate);
+        let retry = RetryPolicy::default();
+        let base = measure_all(&model, &sampler, &reqs, campaign_seed, 1, Some(&plan), &retry)
+            .expect("executor infrastructure must not fail");
+        prop_assert_eq!(base.len(), reqs.len());
+        for workers in [2usize, 8] {
+            let out = measure_all(&model, &sampler, &reqs, campaign_seed, workers, Some(&plan), &retry)
+                .expect("executor infrastructure must not fail");
+            prop_assert_eq!(&out, &base, "worker count {} changed outcomes", workers);
+        }
+        // Queue-order invariance: run the same jobs reversed; outcome i of
+        // the base run must equal outcome n-1-i of the reversed run, up to
+        // the batch index.
+        let rev: Vec<JobRequest> = reqs.iter().rev().copied().collect();
+        let out_rev = measure_all(&model, &sampler, &rev, campaign_seed, 4, Some(&plan), &retry)
+            .expect("executor infrastructure must not fail");
+        let a: Vec<NormalizedOutcome> = base.iter().map(normalize).collect();
+        let mut b: Vec<NormalizedOutcome> = out_rev.iter().map(normalize).collect();
+        b.reverse();
+        prop_assert_eq!(a, b, "queue order changed per-job outcomes");
     }
 }

@@ -44,6 +44,7 @@ pub mod clock;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod registry;
 pub mod sink;
 pub mod span;

@@ -69,7 +69,7 @@ fn noise_floor_prevents_early_uncertainty_collapse() {
     let (x, y, cost) = focus_problem();
     let min_early = |floor: NoiseFloor| -> f64 {
         let mut worst: f64 = f64::INFINITY;
-        for rep in 0..3u64 {
+        for rep in 0..5u64 {
             let cfg = AlConfig {
                 max_iters: 8,
                 seed: rep,
