@@ -2,15 +2,18 @@
 //!
 //! The AL loop predicts over the same candidate set every iteration while
 //! the training set grows by exactly one row. Rebuilding `K(candidates,
-//! train)` from scratch each time costs `O(m n d)`; between hyperparameter
+//! basis)` from scratch each time costs `O(m n d)`; between hyperparameter
 //! refits the kernel is frozen, so the matrix can instead be maintained
-//! incrementally: append one column (`k(candidate_i, x_new)` for the newly
-//! trained point) and, for the pool, drop the chosen candidate's row.
+//! incrementally: for the exact tier the basis is the training set, so the
+//! cache appends one column (`k(candidate_i, x_new)`) per promoted point;
+//! for the sparse tier the basis is the *inducing set*, which does not move
+//! between refits at all — the cached matrix stays warm with no work, the
+//! sparse tier's structural advantage.
 //!
 //! Correctness rests on one invariant: the cached matrix depends only on
-//! the kernel hyperparameters, the candidate rows, and the training rows.
+//! the kernel hyperparameters, the candidate rows, and the basis rows.
 //! [`PoolPredictionCache::predictions`] therefore revalidates against the
-//! model's current kernel parameters and training count on every call and
+//! model's current kernel parameters and basis size on every call and
 //! silently rebuilds when anything moved — a stale cache is impossible, it
 //! can only be slower than intended. Incrementally appended columns go
 //! through the same [`Kernel::cross_matrix`] kernels as a full rebuild, so
@@ -18,17 +21,18 @@
 //! changes an AL trajectory.
 
 use alperf_gp::kernel::Kernel;
-use alperf_gp::model::{GpError, Gpr, Prediction};
+use alperf_gp::model::{GpError, Prediction};
+use alperf_gp::surrogate::Surrogate;
 use alperf_linalg::matrix::Matrix;
 
-/// Cached `K(candidates, train)` cross-covariance with incremental updates.
+/// Cached `K(candidates, basis)` cross-covariance with incremental updates.
 #[derive(Debug, Clone)]
 pub struct PoolPredictionCache {
     /// Candidate inputs, one row per candidate (pool or test set).
     x: Matrix,
-    /// Cross-covariance `K(x, train)` under `params`, when valid.
-    kxt: Option<Matrix>,
-    /// Kernel (log-)hyperparameters `kxt` was assembled under.
+    /// Cross-covariance `K(x, basis)` under `params`, when valid.
+    kxb: Option<Matrix>,
+    /// Kernel (log-)hyperparameters `kxb` was assembled under.
     params: Vec<f64>,
 }
 
@@ -38,7 +42,7 @@ impl PoolPredictionCache {
     pub fn new(x: Matrix) -> Self {
         PoolPredictionCache {
             x,
-            kxt: None,
+            kxb: None,
             params: Vec::new(),
         }
     }
@@ -59,10 +63,10 @@ impl PoolPredictionCache {
     }
 
     /// Whether the cached cross-covariance currently matches `model`.
-    pub fn is_warm_for(&self, model: &Gpr) -> bool {
-        self.kxt.as_ref().is_some_and(|k| {
+    pub fn is_warm_for(&self, model: &Surrogate) -> bool {
+        self.kxb.as_ref().is_some_and(|k| {
             k.nrows() == self.x.nrows()
-                && k.ncols() == model.n_train()
+                && k.ncols() == model.basis().nrows()
                 && self.params == model.kernel().params()
         })
     }
@@ -70,10 +74,10 @@ impl PoolPredictionCache {
     /// Drop the cached cross-covariance (call after a hyperparameter
     /// refit). The candidate rows are kept.
     pub fn invalidate(&mut self) {
-        if self.kxt.is_some() {
+        if self.kxb.is_some() {
             alperf_obs::inc("al.cache.invalidate");
         }
-        self.kxt = None;
+        self.kxb = None;
         self.params.clear();
     }
 
@@ -81,16 +85,16 @@ impl PoolPredictionCache {
     /// rebuilding) the cached cross-covariance.
     ///
     /// # Errors
-    /// Propagates [`Gpr::predict_batch_with_cross`] failures.
-    pub fn predictions(&mut self, model: &Gpr) -> Result<Vec<Prediction>, GpError> {
+    /// Propagates [`Surrogate::predict_batch_with_cross`] failures.
+    pub fn predictions(&mut self, model: &Surrogate) -> Result<Vec<Prediction>, GpError> {
         if !self.is_warm_for(model) {
             alperf_obs::inc("al.cache.rebuild");
-            self.kxt = Some(model.kernel().cross_matrix(&self.x, model.x_train()));
+            self.kxb = Some(model.kernel().cross_matrix(&self.x, model.basis()));
             self.params = model.kernel().params();
         } else {
             alperf_obs::inc("al.cache.hit");
         }
-        model.predict_batch_with_cross(&self.x, self.kxt.as_ref().expect("assembled above"))
+        model.predict_batch_with_cross(&self.x, self.kxb.as_ref().expect("assembled above"))
     }
 
     /// Remove candidate `pos` (the row just promoted into the training
@@ -98,17 +102,24 @@ impl PoolPredictionCache {
     /// the last candidate takes its place, order is not preserved.
     pub fn swap_remove(&mut self, pos: usize) {
         self.x.swap_remove_row(pos);
-        if let Some(k) = &mut self.kxt {
+        if let Some(k) = &mut self.kxb {
             k.swap_remove_row(pos);
         }
     }
 
-    /// Record that `x_new` was appended to the training set: extends the
-    /// cached cross-covariance by the column `k(candidate_i, x_new)`. If
-    /// `kernel`'s hyperparameters differ from the cached ones the cache is
-    /// invalidated instead (the next `predictions` call rebuilds).
-    pub fn extend_train(&mut self, x_new: &[f64], kernel: &dyn Kernel) {
-        if self.kxt.is_none() {
+    /// Record that `x_new` was appended to the training set. For an exact
+    /// model (basis = training set) this extends the cached
+    /// cross-covariance by the column `k(candidate_i, x_new)`; for a sparse
+    /// model the basis is the frozen inducing set, so the cache needs no
+    /// update and stays warm. If the model's kernel hyperparameters differ
+    /// from the cached ones the cache is invalidated instead (the next
+    /// `predictions` call rebuilds).
+    pub fn extend_train(&mut self, x_new: &[f64], model: &Surrogate) {
+        if self.kxb.is_none() {
+            return;
+        }
+        if !model.basis_tracks_train() {
+            // Sparse tier: K(candidates, Z) is unaffected by training growth.
             return;
         }
         if x_new.len() != self.x.ncols() {
@@ -119,6 +130,7 @@ impl PoolPredictionCache {
             self.invalidate();
             return;
         }
+        let kernel: &dyn Kernel = model.kernel();
         if kernel.params() != self.params {
             self.invalidate();
             return;
@@ -127,7 +139,7 @@ impl PoolPredictionCache {
         let xm = Matrix::from_vec(1, x_new.len(), x_new.to_vec())
             .expect("one row of x_new.len() values");
         let col = kernel.cross_matrix(&self.x, &xm);
-        self.kxt
+        self.kxb
             .as_mut()
             .expect("checked above")
             .push_col(col.as_slice())
@@ -139,16 +151,36 @@ impl PoolPredictionCache {
 mod tests {
     use super::*;
     use alperf_gp::kernel::SquaredExponential;
+    use alperf_gp::model::Gpr;
+    use alperf_gp::sparse::{select_inducing_kcenter, SparseGpr, SparseMethod};
 
-    fn fit(train_x: &Matrix, y: &[f64], scale: f64) -> Gpr {
-        Gpr::fit(
-            train_x.clone(),
-            y,
-            Box::new(SquaredExponential::new(scale, 1.0)),
-            0.05,
-            true,
+    fn fit(train_x: &Matrix, y: &[f64], scale: f64) -> Surrogate {
+        Surrogate::Exact(
+            Gpr::fit(
+                train_x.clone(),
+                y,
+                Box::new(SquaredExponential::new(scale, 1.0)),
+                0.05,
+                true,
+            )
+            .unwrap(),
         )
-        .unwrap()
+    }
+
+    fn fit_sparse(train_x: &Matrix, y: &[f64], scale: f64, m: usize) -> Surrogate {
+        let z = train_x.select_rows(&select_inducing_kcenter(train_x, m));
+        Surrogate::Sparse(
+            SparseGpr::fit(
+                train_x.clone(),
+                y,
+                Box::new(SquaredExponential::new(scale, 1.0)),
+                0.05,
+                true,
+                SparseMethod::Fitc,
+                z,
+            )
+            .unwrap(),
+        )
     }
 
     /// Replay an AL-like sequence (predict, pick, swap-remove, extend) and
@@ -180,8 +212,32 @@ mod tests {
             warm.swap_remove(pos);
             train_x = train_x.with_row(&chosen).unwrap();
             y.push((step as f64 * 0.3).sin());
-            warm.extend_train(&chosen, model.kernel());
+            warm.extend_train(&chosen, &model);
         }
+    }
+
+    #[test]
+    fn sparse_cache_stays_warm_as_training_grows() {
+        // The sparse tier's basis (inducing set) is frozen: promoting pool
+        // rows requires *no* cache maintenance, and a with_observation
+        // update keeps the cache warm across iterations.
+        let pool_x = Matrix::from_fn(8, 1, |i, _| i as f64 * 0.9 + 0.2);
+        let train_x = Matrix::from_fn(12, 1, |i, _| i as f64 * 0.6);
+        let y: Vec<f64> = (0..12).map(|i| (i as f64 * 0.4).sin()).collect();
+        let model = fit_sparse(&train_x, &y, 1.0, 5);
+        let mut cache = PoolPredictionCache::new(pool_x.clone());
+        let first = cache.predictions(&model).unwrap();
+        assert!(cache.is_warm_for(&model));
+        // Direct batch agrees bit-for-bit with the cached path.
+        let direct = model.predict_batch(&pool_x).unwrap();
+        assert_eq!(first, direct);
+        // Grow the training set: cache must stay warm for the grown model.
+        let grown = model.with_observation(&[3.33], 0.5).unwrap();
+        cache.extend_train(&[3.33], &grown);
+        assert!(cache.is_warm_for(&grown), "sparse cache went cold");
+        let after = cache.predictions(&grown).unwrap();
+        let direct_after = grown.predict_batch(&pool_x).unwrap();
+        assert_eq!(after, direct_after);
     }
 
     #[test]
@@ -210,7 +266,7 @@ mod tests {
         let mut cache = PoolPredictionCache::new(pool_x);
         let m1 = fit(&train_x, &y, 1.0);
         cache.predictions(&m1).unwrap();
-        let other = SquaredExponential::new(0.3, 2.0);
+        let other = fit(&train_x, &y, 0.3);
         cache.extend_train(&[9.0], &other);
         assert!(!cache.is_warm_for(&m1));
         // And it recovers transparently.
@@ -227,7 +283,7 @@ mod tests {
         cache.predictions(&m).unwrap();
         assert!(cache.is_warm_for(&m));
         // 3 coordinates into a 2-D cache: rejected, cache cold but intact.
-        cache.extend_train(&[1.0, 2.0, 3.0], m.kernel());
+        cache.extend_train(&[1.0, 2.0, 3.0], &m);
         assert!(!cache.is_warm_for(&m));
         let via_cache = cache.predictions(&m).unwrap();
         let direct = m.predict_batch(cache.candidates()).unwrap();

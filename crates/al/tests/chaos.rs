@@ -17,7 +17,7 @@ use alperf_al::strategy::VarianceReduction;
 use alperf_data::partition::Partition;
 use alperf_gp::kernel::SquaredExponential;
 use alperf_gp::noise::NoiseFloor;
-use alperf_gp::optimize::GprConfig;
+use alperf_gp::optimize::{ApproxConfig, FitTier, GprConfig};
 use alperf_linalg::matrix::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,6 +62,31 @@ fn run_chaos(failure_rate: f64) -> AlRun {
         &config(),
     )
     .unwrap()
+}
+
+/// Chaos run on the approximate (sparse) tier.
+fn run_chaos_sparse(failure_rate: f64) -> AlRun {
+    let (x, y, cost) = dataset(N, 11);
+    let part = Partition::random(N, 2, 0.8, 5);
+    let oracle = SeededFaultOracle::new(ORACLE_SEED, failure_rate);
+    let approx = ApproxConfig {
+        max_rank: 10,
+        hyper_subsample: 16,
+        gate_max_n: 0, // no exact-refit gate: keep every iteration sparse
+        ..ApproxConfig::default()
+    };
+    let gpr = GprConfig::new(Box::new(SquaredExponential::unit()))
+        .with_noise_floor(NoiseFloor::Fixed(0.05))
+        .with_restarts(2)
+        .with_seed(7)
+        .with_tier(FitTier::Approximate)
+        .with_approx(approx);
+    let cfg = AlConfig {
+        max_iters: 18,
+        seed: 3,
+        ..AlConfig::new(gpr)
+    };
+    run_al_with_oracle(&x, &y, &cost, &part, &mut VarianceReduction, &oracle, &cfg).unwrap()
 }
 
 fn assert_sane(run: &AlRun, rate: f64) {
@@ -133,14 +158,30 @@ fn al_degrades_gracefully_under_faults() {
     let lost_cost: f64 = heavy.lost.iter().map(|l| l.cost).sum();
     assert!(lost_cost > 0.0);
 
+    // The approximate tier under the same faults (rate 0.1): sane, and the
+    // loop survives losses without leaving the sparse path.
+    let sparse_off = run_chaos_sparse(0.1);
+    assert_sane(&sparse_off, 0.1);
+
     // Telemetry on: same numerics, and every loss visible in the trace.
     let trace = std::env::temp_dir().join(format!("alperf_chaos_{}.jsonl", std::process::id()));
     alperf_obs::sink::install_jsonl(&trace).unwrap();
     alperf_obs::set_enabled(true);
     let degraded_before = alperf_obs::counter(alperf_obs::names::AL_DEGRADED_ITERATION).get();
     let on = run_chaos(0.3);
+    let sparse_on = run_chaos_sparse(0.1);
     alperf_obs::set_enabled(false);
     alperf_obs::sink::uninstall();
+
+    // Approximate tier obeys the same obs-determinism contract under faults.
+    assert_eq!(
+        sparse_on.history, sparse_off.history,
+        "telemetry changed sparse-tier numerics under faults"
+    );
+    assert_eq!(
+        sparse_on.lost, sparse_off.lost,
+        "telemetry changed the sparse-tier lost list"
+    );
 
     assert_eq!(on.history, heavy.history, "telemetry changed the numerics");
     assert_eq!(on.lost, heavy.lost, "telemetry changed the lost list");

@@ -1,0 +1,150 @@
+//! CI smoke for the approximate-GPR tier: one low-rank fit at n=2000 and
+//! one short AL campaign running entirely on the sparse path, with the
+//! telemetry trace written to disk so `validate_trace` can check it.
+//!
+//! Usage:
+//!   sparse_smoke [--quick] [--trace <path>]
+//!
+//! Checks (exit 1 on any failure):
+//! * `fit_surrogate` with `FitTier::Approximate` at n=2000 produces a
+//!   sparse model (rank > 0, rank ≪ n) with finite predictions;
+//! * a VR campaign over a 2000-point space stays on the sparse tier,
+//!   finishes every iteration with finite metrics, and does not regress
+//!   RMSE;
+//! * the emitted JSONL trace contains `gp.sparse_fit` spans and
+//!   fitc-tier `al.iteration` records (`validate_trace` then checks the
+//!   full schema contract in CI).
+
+use alperf_al::runner::{run_al, AlConfig};
+use alperf_al::strategy::VarianceReduction;
+use alperf_bench::fitbench::approx_gpr_config;
+use alperf_bench::overhead::training_data;
+use alperf_data::partition::Partition;
+use alperf_gp::optimize::fit_surrogate;
+use alperf_linalg::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
+
+const N: usize = 2000;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("sparse_smoke: FAIL — {msg}");
+    ExitCode::FAILURE
+}
+
+/// Smooth 2-D response with seeded noise over the same input layout the
+/// fit benchmarks use.
+fn campaign_data(n: usize) -> (Matrix, Vec<f64>, Vec<f64>) {
+    let (x, _) = training_data(n);
+    let mut rng = StdRng::seed_from_u64(23);
+    let y: Vec<f64> = (0..n)
+        .map(|i| {
+            let p = x[(i, 0)];
+            let s = x[(i, 1)];
+            (0.6 * p).sin() * 2.0 + 0.8 * s + rng.gen_range(-0.1..0.1)
+        })
+        .collect();
+    let cost = vec![1.0; n];
+    (x, y, cost)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "sparse_smoke_trace.jsonl".to_string());
+    let (restarts, subsample, iters) = if quick { (2, 100, 8) } else { (5, 200, 20) };
+
+    // Everything below runs with telemetry on and the JSONL sink attached:
+    // the trace is a deliverable, not a side effect.
+    if let Err(e) = alperf_obs::sink::install_jsonl(std::path::Path::new(&trace_path)) {
+        return fail(&format!("cannot open trace {trace_path}: {e}"));
+    }
+    alperf_obs::set_enabled(true);
+
+    // 1. One approximate fit at n=2000.
+    let cfg = approx_gpr_config(restarts, subsample);
+    let (x, y) = training_data(N);
+    let model = match fit_surrogate(&x, &y, &cfg) {
+        Ok((m, _)) => m,
+        Err(e) => return fail(&format!("approximate fit at n={N}: {e}")),
+    };
+    if !model.is_sparse() {
+        return fail("n=2000 fit did not land on the sparse tier");
+    }
+    if model.rank() == 0 || model.rank() >= N {
+        return fail(&format!("implausible rank {}", model.rank()));
+    }
+    match model.predict_one(x.row(0)) {
+        Ok(p) if p.mean.is_finite() && p.std.is_finite() => {}
+        _ => return fail("sparse prediction not finite"),
+    }
+    println!(
+        "fit: tier={} rank={} n={N} ok",
+        model.tier_name(),
+        model.rank()
+    );
+
+    // 2. A short campaign over the same 2000-point space, initial train
+    // large enough that every refit is genuinely low-rank.
+    let (cx, cy, cost) = campaign_data(N);
+    let part = Partition::random(N, 400, 0.5, 11);
+    let al_cfg = AlConfig {
+        max_iters: iters,
+        seed: 3,
+        ..AlConfig::new(approx_gpr_config(restarts, subsample))
+    };
+    let run = match run_al(&cx, &cy, &cost, &part, &mut VarianceReduction, &al_cfg) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("campaign: {e}")),
+    };
+    alperf_obs::set_enabled(false);
+    alperf_obs::sink::uninstall();
+
+    if run.history.len() != iters {
+        return fail(&format!(
+            "campaign stopped at {}/{} iterations",
+            run.history.len(),
+            iters
+        ));
+    }
+    for r in &run.history {
+        if !(r.rmse.is_finite() && r.amsd.is_finite() && r.sigma_at_chosen.is_finite()) {
+            return fail("non-finite campaign metrics");
+        }
+    }
+    let first = run.history.first().unwrap().rmse;
+    let last = run.history.last().unwrap().rmse;
+    // The initial design is already large (400 points), so the headroom for
+    // improvement is small; the smoke only requires that learning on the
+    // sparse tier never makes the model meaningfully worse.
+    if last > first * 1.05 {
+        return fail(&format!("campaign RMSE regressed: {first} -> {last}"));
+    }
+    println!("campaign: {iters} iterations, rmse {first:.4} -> {last:.4}");
+
+    // 3. The trace actually carries the sparse-tier telemetry.
+    let text = match std::fs::read_to_string(&trace_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read back {trace_path}: {e}")),
+    };
+    if !text.contains("\"gp.sparse_fit\"") {
+        return fail("trace has no gp.sparse_fit spans");
+    }
+    if !text.contains("\"al.iteration\"") {
+        return fail("trace has no al.iteration records");
+    }
+    if !text.contains("\"tier\":\"fitc\"") && !text.contains("\"tier\": \"fitc\"") {
+        return fail("trace has no fitc-tier iteration records");
+    }
+    println!(
+        "trace: {} lines -> {trace_path} (run `validate_trace {trace_path}` for the schema gate)",
+        text.lines().count()
+    );
+    println!("sparse_smoke: PASS");
+    ExitCode::SUCCESS
+}

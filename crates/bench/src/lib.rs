@@ -8,6 +8,7 @@
 //! cached on disk — all figures must come from the *same* dataset, exactly
 //! as in the paper.
 
+pub mod fitbench;
 pub mod gate;
 pub mod overhead;
 pub mod plot;

@@ -27,10 +27,14 @@ pub mod model;
 pub mod noise;
 pub mod optimize;
 pub mod sample;
+pub mod sparse;
+pub mod surrogate;
 
 pub use kernel::{
     ArdSquaredExponential, Kernel, Matern32, Matern52, RationalQuadratic, SquaredExponential,
 };
 pub use model::{Gpr, Prediction};
 pub use noise::NoiseFloor;
-pub use optimize::{fit_gpr, GprConfig, OptimOutcome};
+pub use optimize::{fit_gpr, fit_surrogate, ApproxConfig, FitTier, GprConfig, OptimOutcome};
+pub use sparse::{InducingSelector, SparseGpr, SparseMethod};
+pub use surrogate::Surrogate;

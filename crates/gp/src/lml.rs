@@ -275,8 +275,8 @@ pub fn lml_and_grad(
 /// symmetric weight `W = alpha alpha^T - K_y^{-1}` (Eq. 12's analytic
 /// gradient). `K_y^{-1}` comes from structure-exploiting triangular solves
 /// (`Cholesky::inverse_lower`; only the lower triangle, since `W` is
-/// symmetric and every consumer reads `i >= j`) — never from
-/// `Cholesky::inverse`, which is deprecated — and `W` is materialized once,
+/// symmetric and every consumer reads `i >= j`) — never from a dense
+/// identity solve for the full inverse — and `W` is materialized once,
 /// then contracted with every
 /// `dK/dtheta_j` in a single pass:
 ///

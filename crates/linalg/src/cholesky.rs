@@ -333,6 +333,13 @@ impl Cholesky {
         solve_lower(&self.l, b)
     }
 
+    /// Backward solve only: `L^T x = b` — the second half of
+    /// [`Self::solve`], exposed for consumers that assemble products like
+    /// `L^{-T} w` directly (the sparse-GPR mean weights).
+    pub fn solve_backward(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        solve_lower_transpose(&self.l, b)
+    }
+
     /// Multi-RHS solve `A X = B`, one column of `X` per column of `B`.
     /// Delegates to the blocked (and, for large systems, parallel)
     /// triangular kernels, so it is much faster than calling [`Self::solve`]
@@ -410,8 +417,8 @@ impl Cholesky {
     /// that read one triangle — the LML gradient's weight matrix
     /// `W = alpha alpha^T - K_y^{-1}` is contracted against symmetric
     /// `dK/dtheta` terms and only ever touches `i >= j` (see
-    /// `alperf-gp::lml`). Roughly 3x cheaper than the deprecated full
-    /// [`Self::inverse`]: `(K^{-1})_{ij} = sum_{k >= i} (L^{-1})_{ki}
+    /// `alperf-gp::lml`). Roughly 3x cheaper than a dense identity solve
+    /// for the full inverse: `(K^{-1})_{ij} = sum_{k >= i} (L^{-1})_{ki}
     /// (L^{-1})_{kj}` for `i >= j`, and the triangular solves skip the
     /// structural zeros.
     ///
@@ -456,24 +463,6 @@ impl Cholesky {
         2.0 * (0..self.l.nrows())
             .map(|i| self.l[(i, i)].ln())
             .sum::<f64>()
-    }
-
-    /// Explicit inverse `A^{-1}`, computed by solving against the identity.
-    ///
-    /// Deprecated: no production path needs the full inverse any more. The
-    /// LML gradient builds its weight matrix `W = alpha alpha^T - K_y^{-1}`
-    /// directly via [`Self::solve_matrix`] against the identity and
-    /// contracts it in one pass (`alperf-gp::lml`), and LOO-CV needs only
-    /// `diag(K_y^{-1})`, which it gets as column norms of `L^{-1}`
-    /// ([`Self::solve_forward_matrix`]). Prefer those targeted solves; this
-    /// remains for tests and diagnostics.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use targeted triangular solves (solve_matrix / solve_forward_matrix); \
-                see the solve-based gradient path in alperf-gp::lml"
-    )]
-    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
-        self.solve_matrix(&Matrix::identity(self.order()))
     }
 
     /// Extend the factorization by one row/column in `O(n^2)`: given the
@@ -616,11 +605,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn inverse_matches_identity() {
+    fn solve_against_identity_yields_inverse() {
+        // The deprecated `inverse()` convenience is gone; consumers that do
+        // want a full inverse spell out the identity solve, which is what
+        // this exercises.
         let a = spd3();
         let c = Cholesky::decompose(&a).unwrap();
-        let inv = c.inverse().unwrap();
+        let inv = c.solve_matrix(&Matrix::identity(3)).unwrap();
         let prod = a.matmul(&inv).unwrap();
         assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-12);
     }

@@ -24,6 +24,7 @@
 pub mod cholesky;
 pub mod error;
 pub mod fastmath;
+pub mod lowrank;
 pub mod matrix;
 pub mod stats;
 pub mod triangular;

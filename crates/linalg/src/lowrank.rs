@@ -1,0 +1,522 @@
+//! Partial pivoted-Cholesky low-rank factorization and Woodbury-form
+//! solves — the linear-algebra substrate of the approximate-GPR tier.
+//!
+//! [`pivoted_cholesky`] builds a rank-`m` approximation `K ≈ Vᵀ V`
+//! (`V` stored row-per-factor, `m × n`) of an SPD matrix it never
+//! materializes: the caller supplies the diagonal and a column oracle, and
+//! the greedy pivot rule (largest residual diagonal) touches only the `m`
+//! columns it actually selects — `O(n m²)` work and `O(n m)` memory. The
+//! pivot sequence doubles as an inducing-point selection for sparse GPR
+//! (the same points a Nyström approximation would anchor on).
+//!
+//! [`Woodbury`] then solves against `V Vᵀ + Λ` (diagonal `Λ > 0`) through
+//! the `m × m` capacitance factor `A = I + Vᵀ Λ⁻¹ V` instead of the
+//! `n × n` matrix — the identity that turns an `O(n³)` GPR fit into
+//! `O(n m²)`. Both pieces are strictly serial per factor column, so
+//! results are bit-identical regardless of rayon worker count.
+
+use crate::cholesky::Cholesky;
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector::dot;
+
+/// Result of a partial pivoted-Cholesky factorization: `K ≈ Vᵀ V` with
+/// `V` of shape `rank × n` (row `r` is the factor column produced by the
+/// `r`-th pivot).
+#[derive(Debug, Clone)]
+pub struct PivotedCholesky {
+    /// Factor rows, `rank × n`: `K ≈ v.transpose() * v`.
+    v: Matrix,
+    /// Selected pivot indices, in selection order (all distinct).
+    pivots: Vec<usize>,
+    /// `trace(K)` before any pivot was eliminated.
+    initial_trace: f64,
+    /// Residual trace `trace(K - Vᵀ V)` after the last accepted pivot
+    /// (clamped at zero; exact arithmetic would keep it nonnegative).
+    residual_trace: f64,
+}
+
+impl PivotedCholesky {
+    /// Factor rows `V` (`rank × n`), so `K ≈ Vᵀ V`.
+    pub fn factor_rows(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// Number of accepted pivots (the approximation rank).
+    pub fn rank(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// Pivot indices in selection order.
+    pub fn pivots(&self) -> &[usize] {
+        &self.pivots
+    }
+
+    /// `trace(K)` of the matrix being approximated.
+    pub fn initial_trace(&self) -> f64 {
+        self.initial_trace
+    }
+
+    /// Residual trace `trace(K - Vᵀ V)` — the factorization's built-in
+    /// error certificate (for SPD `K` the trace bounds the nuclear norm
+    /// of the residual).
+    pub fn residual_trace(&self) -> f64 {
+        self.residual_trace
+    }
+
+    /// Dense reconstruction `Vᵀ V` (testing / diagnostics; `O(n² m)`).
+    pub fn reconstruct(&self) -> Matrix {
+        let vt = self.v.transpose();
+        vt.matmul(&self.v).expect("factor shapes agree")
+    }
+}
+
+/// Partial pivoted-Cholesky factorization of an SPD matrix given by its
+/// diagonal and a column oracle.
+///
+/// `diag[i] = K_ii`; `column(p)` must return the full `p`-th column of
+/// `K` (length `diag.len()`). Pivots are chosen greedily as the largest
+/// residual diagonal entry (lowest index on ties — the rule that makes
+/// the selection bit-identical across machines and worker counts), and
+/// the iteration stops when either `max_rank` columns were accepted or
+/// the residual trace has fallen to `rel_tol * trace(K)`.
+///
+/// Residual diagonal entries that go negative through rounding are
+/// clamped to zero, matching the convention of GPML's `chol_incomplete`
+/// and scikit-learn's Nyström helpers.
+///
+/// # Errors
+/// [`LinalgError::NonFinite`] if the diagonal or a selected column
+/// contains NaN/inf; [`LinalgError::DimensionMismatch`] if `column`
+/// returns the wrong length.
+pub fn pivoted_cholesky(
+    diag: &[f64],
+    column: &mut dyn FnMut(usize) -> Vec<f64>,
+    max_rank: usize,
+    rel_tol: f64,
+) -> Result<PivotedCholesky, LinalgError> {
+    let _span = alperf_obs::span("linalg.pivoted_cholesky");
+    let n = diag.len();
+    if diag.iter().any(|v| !v.is_finite()) {
+        return Err(LinalgError::NonFinite {
+            op: "pivoted_cholesky",
+        });
+    }
+    let initial_trace: f64 = diag.iter().sum();
+    let mut d = diag.to_vec();
+    let mut rows: Vec<f64> = Vec::new();
+    let mut pivots: Vec<usize> = Vec::new();
+    let mut residual_trace = initial_trace;
+    let stop_trace = rel_tol.max(0.0) * initial_trace.max(0.0);
+    let rank_cap = max_rank.min(n);
+
+    while pivots.len() < rank_cap && residual_trace > stop_trace {
+        // Greedy pivot: largest residual diagonal, lowest index wins ties.
+        let (p, dp) =
+            d.iter()
+                .copied()
+                .enumerate()
+                .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                });
+        if dp <= 0.0 {
+            break;
+        }
+        let col = column(p);
+        if col.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "pivoted_cholesky",
+                details: format!("column {p} has {} entries, expected {n}", col.len()),
+            });
+        }
+        if col.iter().any(|v| !v.is_finite()) {
+            return Err(LinalgError::NonFinite {
+                op: "pivoted_cholesky",
+            });
+        }
+        let r = pivots.len();
+        let scale = 1.0 / dp.sqrt();
+        // new_row[i] = (K_ip - sum_{s<r} V_sp V_si) / sqrt(d_p)
+        let mut new_row = col;
+        for s in 0..r {
+            let vsp = rows[s * n + p];
+            if vsp == 0.0 {
+                continue;
+            }
+            let vrow = &rows[s * n..(s + 1) * n];
+            for (t, v) in new_row.iter_mut().zip(vrow) {
+                *t -= vsp * v;
+            }
+        }
+        for t in new_row.iter_mut() {
+            *t *= scale;
+        }
+        new_row[p] = dp.sqrt();
+        // Residual diagonal update, clamped at zero.
+        residual_trace = 0.0;
+        for (di, vi) in d.iter_mut().zip(&new_row) {
+            *di = (*di - vi * vi).max(0.0);
+            residual_trace += *di;
+        }
+        d[p] = 0.0;
+        rows.extend_from_slice(&new_row);
+        pivots.push(p);
+    }
+
+    let rank = pivots.len();
+    let v = Matrix::from_vec(rank, n, rows).expect("row buffer shape");
+    alperf_obs::add("linalg.pivoted_cholesky.rank", rank as u64);
+    Ok(PivotedCholesky {
+        v,
+        pivots,
+        initial_trace,
+        residual_trace,
+    })
+}
+
+/// Woodbury-form solver for `M = V Vᵀ + Λ` with `V = vtᵀ` (`vt` holds
+/// `v_i` as row `i`, shape `n × m`) and diagonal `Λ = diag(lambda) > 0`.
+///
+/// Everything routes through the `m × m` capacitance matrix
+/// `A = I + Vᵀ Λ⁻¹ V` and its Cholesky factor `L_A`:
+///
+/// * `M⁻¹ b = Λ⁻¹ b − Λ⁻¹ V A⁻¹ Vᵀ Λ⁻¹ b` (Woodbury identity),
+/// * `log det M = log det A + Σ log λ_i` (matrix determinant lemma),
+/// * `yᵀ M⁻¹ y = Σ y_i²/λ_i − ‖L_A⁻¹ Vᵀ Λ⁻¹ y‖²`.
+#[derive(Debug, Clone)]
+pub struct Woodbury {
+    vt: Matrix,
+    lambda: Vec<f64>,
+    a_chol: Cholesky,
+}
+
+impl Woodbury {
+    /// Build the capacitance factor for `V Vᵀ + diag(lambda)`.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if `lambda.len() != vt.nrows()`;
+    /// [`LinalgError::NonFinite`] if `lambda` has a nonpositive or
+    /// non-finite entry; any Cholesky failure on the capacitance matrix
+    /// (jitter-retried first — `A` is an identity plus a Gram matrix, so
+    /// failures indicate severe scaling problems upstream).
+    pub fn new(vt: &Matrix, lambda: &[f64]) -> Result<Self, LinalgError> {
+        let (n, m) = (vt.nrows(), vt.ncols());
+        if lambda.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "woodbury",
+                details: format!("{} lambda entries for {n} rows", lambda.len()),
+            });
+        }
+        if lambda.iter().any(|l| !l.is_finite() || *l <= 0.0) {
+            return Err(LinalgError::NonFinite { op: "woodbury" });
+        }
+        // A = I + Vᵀ Λ⁻¹ V, assembled as (Λ⁻¹ vt)ᵀ-style row scaling fused
+        // into the Gram accumulation: A += v_i v_iᵀ / λ_i, lower triangle
+        // then mirrored. Serial over rows — bit-identical across workers.
+        let mut a = Matrix::identity(m);
+        for (i, &li) in lambda.iter().enumerate() {
+            let row = vt.row(i);
+            let inv_l = 1.0 / li;
+            for r in 0..m {
+                let w = row[r] * inv_l;
+                if w == 0.0 {
+                    continue;
+                }
+                let arow = a.row_mut(r);
+                for c in 0..=r {
+                    arow[c] += w * row[c];
+                }
+            }
+        }
+        for r in 0..m {
+            for c in 0..r {
+                a[(c, r)] = a[(r, c)];
+            }
+        }
+        let a_chol = Cholesky::decompose_jittered(&a, 1e-12, 8)?;
+        Ok(Woodbury {
+            vt: vt.clone(),
+            lambda: lambda.to_vec(),
+            a_chol,
+        })
+    }
+
+    /// Build with a constant diagonal `Λ = lambda I`.
+    pub fn new_uniform(vt: &Matrix, lambda: f64) -> Result<Self, LinalgError> {
+        Self::new(vt, &vec![lambda; vt.nrows()])
+    }
+
+    /// Number of rows `n` of the implicit `n × n` matrix.
+    pub fn order(&self) -> usize {
+        self.vt.nrows()
+    }
+
+    /// Low-rank width `m`.
+    pub fn rank(&self) -> usize {
+        self.vt.ncols()
+    }
+
+    /// The Cholesky factor of the capacitance matrix `A = I + Vᵀ Λ⁻¹ V`.
+    pub fn factor(&self) -> &Cholesky {
+        &self.a_chol
+    }
+
+    /// `Vᵀ Λ⁻¹ y` — the `m`-vector the Woodbury identity pivots on.
+    fn vt_lambda_inv(&self, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (n, m) = (self.vt.nrows(), self.vt.ncols());
+        if y.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "woodbury_apply",
+                details: format!("rhs has {} entries, order is {n}", y.len()),
+            });
+        }
+        let mut s = vec![0.0; m];
+        for (i, (yi, li)) in y.iter().zip(&self.lambda).enumerate() {
+            let w = yi / li;
+            if w == 0.0 {
+                continue;
+            }
+            for (sj, vj) in s.iter_mut().zip(self.vt.row(i)) {
+                *sj += w * vj;
+            }
+        }
+        Ok(s)
+    }
+
+    /// Solve `(V Vᵀ + Λ) x = b` in `O(n m + m²)`.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if `b.len() != order()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let s = self.vt_lambda_inv(b)?;
+        let w = self.a_chol.solve(&s)?;
+        let mut x: Vec<f64> = b.iter().zip(&self.lambda).map(|(bi, li)| bi / li).collect();
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi -= dot(self.vt.row(i), &w) / self.lambda[i];
+        }
+        Ok(x)
+    }
+
+    /// `L_A⁻¹ Vᵀ Λ⁻¹ y` — the projected coefficient vector sparse-GPR
+    /// posteriors are built from.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if `y.len() != order()`.
+    pub fn project(&self, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let s = self.vt_lambda_inv(y)?;
+        self.a_chol.solve_forward(&s)
+    }
+
+    /// `log det(V Vᵀ + Λ)` via the matrix determinant lemma.
+    pub fn log_det(&self) -> f64 {
+        self.a_chol.log_det() + self.lambda.iter().map(|l| l.ln()).sum::<f64>()
+    }
+
+    /// Quadratic form `yᵀ (V Vᵀ + Λ)⁻¹ y` without forming the solve.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if `y.len() != order()`.
+    pub fn quad(&self, y: &[f64]) -> Result<f64, LinalgError> {
+        let c = self.project(y)?;
+        let direct: f64 = y
+            .iter()
+            .zip(&self.lambda)
+            .map(|(yi, li)| yi * yi / li)
+            .sum();
+        Ok(direct - dot(&c, &c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic well-conditioned SPD matrix (same xorshift recipe as
+    /// the Cholesky tests): `B Bᵀ / n + I`.
+    fn well_conditioned_spd(n: usize) -> Matrix {
+        let mut s = 0x9e3779b97f4a7c15u64 ^ n as u64;
+        let data: Vec<f64> = (0..n * n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 53) as f64 - 1.0
+            })
+            .collect();
+        let b = Matrix::from_vec(n, n, data).unwrap();
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        let inv_n = 1.0 / n as f64;
+        for v in a.as_mut_slice() {
+            *v *= inv_n;
+        }
+        a.add_diagonal(1.0);
+        a
+    }
+
+    /// Low-rank-plus-ridge SPD matrix: `C Cᵀ + eps I` with `C` of width
+    /// `r` — pivoted Cholesky should capture it at rank ≈ r.
+    fn low_rank_spd(n: usize, r: usize, eps: f64) -> Matrix {
+        let mut s = 0xdeadbeefcafef00du64 ^ (n as u64) << 8 ^ r as u64;
+        let data: Vec<f64> = (0..n * r)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 53) as f64 - 1.0
+            })
+            .collect();
+        let c = Matrix::from_vec(n, r, data).unwrap();
+        let mut a = c.matmul(&c.transpose()).unwrap();
+        a.add_diagonal(eps);
+        a
+    }
+
+    fn factor_full(a: &Matrix, max_rank: usize, tol: f64) -> PivotedCholesky {
+        let diag = a.diagonal();
+        let n = a.nrows();
+        let mut col = |p: usize| (0..n).map(|i| a[(i, p)]).collect::<Vec<f64>>();
+        pivoted_cholesky(&diag, &mut col, max_rank, tol).unwrap()
+    }
+
+    #[test]
+    fn full_rank_reconstructs_exactly() {
+        for n in [1usize, 5, 23] {
+            let a = well_conditioned_spd(n);
+            let pc = factor_full(&a, n, 0.0);
+            assert_eq!(pc.rank(), n);
+            let diff = pc.reconstruct().max_abs_diff(&a);
+            assert!(diff < 1e-9, "n={n}: reconstruction error {diff}");
+            assert!(pc.residual_trace() < 1e-9 * pc.initial_trace());
+        }
+    }
+
+    #[test]
+    fn low_rank_matrix_stops_early() {
+        let a = low_rank_spd(40, 5, 1e-10);
+        let pc = factor_full(&a, 40, 1e-8);
+        assert!(
+            pc.rank() <= 7,
+            "rank-5 + tiny ridge should stop near 5, got {}",
+            pc.rank()
+        );
+        let diff = pc.reconstruct().max_abs_diff(&a);
+        assert!(diff < 1e-4, "residual too large: {diff}");
+    }
+
+    #[test]
+    fn pivots_are_distinct_and_trace_monotone() {
+        let a = well_conditioned_spd(30);
+        let diag = a.diagonal();
+        let mut col = |p: usize| (0..30).map(|i| a[(i, p)]).collect::<Vec<f64>>();
+        // Re-run rank by rank; residual trace must be nonincreasing.
+        let mut prev = f64::INFINITY;
+        for m in 1..=30 {
+            let pc = pivoted_cholesky(&diag, &mut col, m, 0.0).unwrap();
+            assert!(pc.residual_trace() <= prev + 1e-12);
+            prev = pc.residual_trace();
+            let mut sorted = pc.pivots().to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), pc.rank(), "duplicate pivot");
+        }
+        assert!(prev < 1e-9);
+    }
+
+    #[test]
+    fn rank_cap_respected() {
+        let a = well_conditioned_spd(20);
+        let pc = factor_full(&a, 4, 0.0);
+        assert_eq!(pc.rank(), 4);
+        assert_eq!(pc.factor_rows().nrows(), 4);
+        assert_eq!(pc.factor_rows().ncols(), 20);
+        assert!(pc.residual_trace() > 0.0);
+        assert!(pc.residual_trace() < pc.initial_trace());
+    }
+
+    #[test]
+    fn zero_matrix_yields_rank_zero() {
+        let diag = vec![0.0; 6];
+        let mut col = |_p: usize| vec![0.0; 6];
+        let pc = pivoted_cholesky(&diag, &mut col, 6, 0.0).unwrap();
+        assert_eq!(pc.rank(), 0);
+        assert_eq!(pc.residual_trace(), 0.0);
+    }
+
+    #[test]
+    fn bad_column_length_rejected() {
+        let diag = vec![1.0, 2.0];
+        let mut col = |_p: usize| vec![1.0];
+        assert!(matches!(
+            pivoted_cholesky(&diag, &mut col, 2, 0.0),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    fn dense_m(vt: &Matrix, lambda: &[f64]) -> Matrix {
+        let v = vt.transpose();
+        let mut m = vt.matmul(&v).unwrap();
+        for (i, l) in lambda.iter().enumerate() {
+            m[(i, i)] += l;
+        }
+        m
+    }
+
+    fn test_vt(n: usize, m: usize) -> Matrix {
+        let mut s = 0x1234_5678_9abc_def0u64 ^ (n as u64) << 7 ^ m as u64;
+        let data: Vec<f64> = (0..n * m)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 53) as f64 - 1.0
+            })
+            .collect();
+        Matrix::from_vec(n, m, data).unwrap()
+    }
+
+    #[test]
+    fn woodbury_solve_matches_dense() {
+        let (n, m) = (25, 4);
+        let vt = test_vt(n, m);
+        let lambda: Vec<f64> = (0..n).map(|i| 0.5 + 0.1 * i as f64).collect();
+        let wb = Woodbury::new(&vt, &lambda).unwrap();
+        let dense = dense_m(&vt, &lambda);
+        let chol = Cholesky::decompose(&dense).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let x_w = wb.solve(&b).unwrap();
+        let x_d = chol.solve(&b).unwrap();
+        for (a, c) in x_w.iter().zip(&x_d) {
+            assert!((a - c).abs() < 1e-10, "{a} vs {c}");
+        }
+    }
+
+    #[test]
+    fn woodbury_log_det_and_quad_match_dense() {
+        let (n, m) = (18, 3);
+        let vt = test_vt(n, m);
+        let lambda = vec![0.3; n];
+        let wb = Woodbury::new_uniform(&vt, 0.3).unwrap();
+        let dense = dense_m(&vt, &lambda);
+        let chol = Cholesky::decompose(&dense).unwrap();
+        assert!((wb.log_det() - chol.log_det()).abs() < 1e-10);
+        let y: Vec<f64> = (0..n).map(|i| 1.0 - 0.05 * i as f64).collect();
+        let quad_dense = dot(&y, &chol.solve(&y).unwrap());
+        assert!((wb.quad(&y).unwrap() - quad_dense).abs() < 1e-10);
+        // project() is the forward half of quad's correction term.
+        let c = wb.project(&y).unwrap();
+        let direct: f64 = y.iter().map(|v| v * v / 0.3).sum();
+        assert!((direct - dot(&c, &c) - quad_dense).abs() < 1e-10);
+    }
+
+    #[test]
+    fn woodbury_rejects_bad_lambda() {
+        let vt = test_vt(4, 2);
+        assert!(Woodbury::new(&vt, &[1.0, 1.0]).is_err());
+        assert!(Woodbury::new(&vt, &[1.0, 1.0, 0.0, 1.0]).is_err());
+        assert!(Woodbury::new(&vt, &[1.0, 1.0, f64::NAN, 1.0]).is_err());
+    }
+}

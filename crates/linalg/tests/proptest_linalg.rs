@@ -1,6 +1,6 @@
 //! Property-based tests for the linear-algebra substrate.
 
-use alperf_linalg::{cholesky::Cholesky, matrix::Matrix, stats, triangular, vector};
+use alperf_linalg::{cholesky::Cholesky, lowrank, matrix::Matrix, stats, triangular, vector};
 use proptest::prelude::*;
 
 /// Strategy: vector of `n` finite floats in a tame range.
@@ -45,6 +45,44 @@ fn pseudo_spd(n: usize, seed: u64) -> Matrix {
 }
 
 proptest! {
+    #[test]
+    fn pivoted_cholesky_trace_error_monotone_in_rank(seed in 0u64..1_000_000, n in 8..48usize) {
+        // Each extra pivot eliminates a nonnegative amount of residual
+        // trace: the reported trace error must be nonincreasing in the rank
+        // cap, start at trace(K), and the reported value must match the
+        // true trace of K - VᵀV.
+        let a = pseudo_spd(n, seed);
+        let diag: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+        let trace: f64 = diag.iter().sum();
+        let mut prev = trace;
+        let mut rank = 1usize;
+        while rank <= n {
+            let mut column = |j: usize| (0..n).map(|i| a[(i, j)]).collect::<Vec<f64>>();
+            let pc = lowrank::pivoted_cholesky(&diag, &mut column, rank, 0.0).unwrap();
+            prop_assert!(pc.rank() <= rank);
+            let rt = pc.residual_trace();
+            prop_assert!(rt >= 0.0);
+            prop_assert!(
+                rt <= prev + 1e-9 * trace,
+                "residual trace grew with rank: {} -> {} at rank {}",
+                prev, rt, rank
+            );
+            prev = rt;
+            let rec = pc.reconstruct();
+            let true_rt: f64 = (0..n).map(|i| a[(i, i)] - rec[(i, i)]).sum();
+            prop_assert!(
+                (true_rt - rt).abs() <= 1e-8 * (1.0 + trace),
+                "reported residual trace {} != true {}",
+                rt, true_rt
+            );
+            rank *= 2;
+        }
+        // At full rank the factorization is (numerically) exact.
+        let mut column = |j: usize| (0..n).map(|i| a[(i, j)]).collect::<Vec<f64>>();
+        let full = lowrank::pivoted_cholesky(&diag, &mut column, n, 0.0).unwrap();
+        prop_assert!(full.residual_trace() <= 1e-8 * (1.0 + trace));
+    }
+
     #[test]
     fn dot_is_commutative(x in vec_strategy(17), y in vec_strategy(17)) {
         let a = vector::dot(&x, &y);
