@@ -18,6 +18,7 @@ use alperf_gp::surrogate::Surrogate;
 use alperf_linalg::matrix::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Acquisition criteria over the GP posterior at a point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,9 +125,12 @@ impl ContinuousAcquisition {
         let start_m =
             Matrix::from_vec(starts.len(), d, starts.concat()).expect("starts are d-dimensional");
         let start_f = score_batch(&start_m)?;
-        let mut best_x: Option<Vec<f64>> = None;
-        let mut best_f = f64::NEG_INFINITY;
-        for (mut x, mut f) in starts.into_iter().zip(start_f) {
+        // Each start's pattern search is independent and deterministic (all
+        // randomness was pre-drawn into `starts` above), so the searches
+        // fan out across rayon workers; the winner is picked by a serial
+        // in-order fold whose `f > best_f` rule keeps the earliest start on
+        // exact ties — bit-identical to running the starts sequentially.
+        let refine = |(mut x, mut f): (Vec<f64>, f64)| -> Result<(Vec<f64>, f64), GpError> {
             // Pattern search: probe +/- step along each axis (one batched
             // prediction per sweep), shrink on failure.
             let mut steps: Vec<f64> = self
@@ -181,6 +185,18 @@ impl ContinuousAcquisition {
                     }
                 }
             }
+            Ok((x, f))
+        };
+        let pairs: Vec<(Vec<f64>, f64)> = starts.into_iter().zip(start_f).collect();
+        let refined: Vec<Result<(Vec<f64>, f64), GpError>> = if rayon::current_num_threads() > 1 {
+            pairs.into_par_iter().map(refine).collect()
+        } else {
+            pairs.into_iter().map(refine).collect()
+        };
+        let mut best_x: Option<Vec<f64>> = None;
+        let mut best_f = f64::NEG_INFINITY;
+        for r in refined {
+            let (x, f) = r?;
             if f > best_f {
                 best_f = f;
                 best_x = Some(x);
@@ -370,6 +386,23 @@ mod tests {
         let a = acq.maximize(&gpr, Criterion::SigmaMinusMean).unwrap();
         let b = acq.maximize(&gpr, Criterion::SigmaMinusMean).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn maximize_is_bit_identical_across_thread_widths() {
+        // The per-start searches fan out over workers; the result must not
+        // depend on the pool width.
+        let gpr = model();
+        let acq = ContinuousAcquisition::new(vec![(0.0, 10.0)]);
+        let serial = alperf_linalg::threads::with_threads(1, || {
+            acq.maximize(&gpr, Criterion::SigmaMinusMean).unwrap()
+        });
+        for t in [2usize, 4, 8] {
+            let par = alperf_linalg::threads::with_threads(t, || {
+                acq.maximize(&gpr, Criterion::SigmaMinusMean).unwrap()
+            });
+            assert_eq!(par, serial, "t={t}");
+        }
     }
 
     #[test]

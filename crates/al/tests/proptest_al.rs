@@ -2,14 +2,15 @@
 //! under random datasets and partitions, tradeoff-curve consistency, and
 //! acquisition determinism.
 
-use alperf_al::runner::{run_al, AlConfig};
-use alperf_al::strategy::{CostEfficiency, RandomSampling, VarianceReduction};
+use alperf_al::runner::{run_al, AlConfig, PipelineConfig};
+use alperf_al::strategy::{CostEfficiency, RandomSampling, Strategy, VarianceReduction};
 use alperf_al::tradeoff;
 use alperf_data::partition::Partition;
 use alperf_gp::kernel::SquaredExponential;
 use alperf_gp::noise::NoiseFloor;
-use alperf_gp::optimize::GprConfig;
+use alperf_gp::optimize::{FitTier, GprConfig};
 use alperf_linalg::matrix::Matrix;
+use alperf_linalg::threads::with_threads;
 use proptest::prelude::*;
 
 fn problem(ys: &[f64]) -> (Matrix, Vec<f64>, Vec<f64>) {
@@ -128,5 +129,101 @@ proptest! {
             .map(|r| r.history.last().expect("non-empty").rmse)
             .sum::<f64>() / runs.len() as f64;
         prop_assert!((last - mean_final).abs() <= 1e-9 * (1.0 + mean_final));
+    }
+
+    /// Pipelining contract, pt. 1: `PipelineConfig::Off` (the default) is
+    /// bit-identical to a config that never mentions the field, and the
+    /// speculative runner is itself deterministic run to run.
+    /// Pt. 2: depth-1 staleness degrades accuracy *boundedly* — the
+    /// speculative run measures the same number of experiments and its
+    /// final RMSE stays within a loose band of the serial loop's.
+    #[test]
+    fn pipelined_campaign_deterministic_and_near_serial(
+        ys in prop::collection::vec(-2.0..2.0f64, 25..40),
+        seed in 0u64..100,
+    ) {
+        let (x, y, cost) = problem(&ys);
+        let part = Partition::paper_default(y.len(), seed);
+        let serial = run_al(&x, &y, &cost, &part, &mut VarianceReduction, &config(seed, 10))
+            .expect("serial AL");
+        let mut cfg_off = config(seed, 10);
+        cfg_off.pipeline = PipelineConfig::Off;
+        let off = run_al(&x, &y, &cost, &part, &mut VarianceReduction, &cfg_off).expect("AL");
+        prop_assert_eq!(&off.history, &serial.history, "explicit Off diverged from default");
+        let mut cfg_spec = config(seed, 10);
+        cfg_spec.pipeline = PipelineConfig::Speculative;
+        let spec_a = run_al(&x, &y, &cost, &part, &mut VarianceReduction, &cfg_spec).expect("AL");
+        let spec_b = run_al(&x, &y, &cost, &part, &mut VarianceReduction, &cfg_spec).expect("AL");
+        prop_assert_eq!(&spec_a.history, &spec_b.history, "speculative run not reproducible");
+        prop_assert_eq!(spec_a.history.len(), serial.history.len());
+        let rows: Vec<usize> = spec_a.history.iter().map(|r| r.chosen_row).collect();
+        let set: std::collections::BTreeSet<_> = rows.iter().collect();
+        prop_assert_eq!(set.len(), rows.len(), "speculative runner selected a row twice");
+        if let (Some(s), Some(p)) = (serial.history.last(), spec_a.history.last()) {
+            prop_assert!(p.rmse.is_finite() && p.rmse >= 0.0);
+            prop_assert!(
+                (p.rmse - s.rmse).abs() <= 0.5 + 0.5 * s.rmse,
+                "speculative final RMSE {} too far from serial {}",
+                p.rmse,
+                s.rmse
+            );
+        }
+    }
+}
+
+proptest! {
+    // Campaigns below run a 340-row pool (past the 256-candidate parallel
+    // scoring threshold) once per width and tier — fewer cases keep the
+    // suite fast.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Parallel pool scoring is an *oracle-checked* optimization: a whole
+    /// campaign — fit, pool prediction, acquisition scoring, selection —
+    /// replayed at 2/4/8 rayon workers is bit-identical to the 1-worker
+    /// run, for both acquisition strategies and both surrogate tiers.
+    #[test]
+    fn campaign_bit_identical_across_thread_widths_and_tiers(
+        seed in 0u64..50,
+        phase in 0.0..3.0f64,
+    ) {
+        let n = 340;
+        let x = Matrix::from_fn(n, 1, |i, _| i as f64 * 8.0 / n as f64);
+        let y: Vec<f64> = (0..n)
+            .map(|i| ((i as f64 * 8.0 / n as f64) + phase).sin() * 2.0)
+            .collect();
+        let cost: Vec<f64> = (0..n).map(|i| 0.5 + (i % 5) as f64).collect();
+        let part = Partition::random(n, 4, 0.9, seed);
+        for tier in [FitTier::Exact, FitTier::Approximate] {
+            let mut vr = VarianceReduction;
+            let mut ce = CostEfficiency;
+            let strategies: [&mut dyn Strategy; 2] = [&mut vr, &mut ce];
+            for strategy in strategies {
+                let mk = || {
+                    let gpr = GprConfig::new(Box::new(SquaredExponential::unit()))
+                        .with_noise_floor(NoiseFloor::Fixed(0.05))
+                        .with_restarts(1)
+                        .with_seed(seed)
+                        .with_tier(tier);
+                    AlConfig { max_iters: 6, seed, ..AlConfig::new(gpr) }
+                };
+                let base = with_threads(1, || {
+                    run_al(&x, &y, &cost, &part, &mut *strategy, &mk()).expect("AL")
+                });
+                prop_assert!(!base.history.is_empty());
+                for t in [2usize, 4, 8] {
+                    let run = with_threads(t, || {
+                        run_al(&x, &y, &cost, &part, &mut *strategy, &mk()).expect("AL")
+                    });
+                    prop_assert_eq!(
+                        &run.history,
+                        &base.history,
+                        "{} tier {:?} diverged at {} workers",
+                        strategy.name(),
+                        tier,
+                        t
+                    );
+                }
+            }
+        }
     }
 }

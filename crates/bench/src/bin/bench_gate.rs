@@ -1,17 +1,22 @@
 //! CI perf-regression gate over the benchmarked hot paths.
 //!
 //! Usage:
-//!   bench_gate [--suite obs|fit] [--baseline <path>] [--tolerance <pct>] [--quick] [--json]
-//!   bench_gate --update-baseline [--suite obs|fit] [--baseline <path>] [--quick]
+//!   bench_gate [--suite obs|fit|scale] [--baseline <path>] [--tolerance <pct>] [--quick] [--json]
+//!   bench_gate --update-baseline [--suite obs|fit|scale] [--baseline <path>] [--quick]
 //!
-//! Two suites share the `alperf-bench-gate-v1` baseline format:
+//! Three suites share the `alperf-bench-gate-v1` baseline format:
 //!
 //! * `obs` (default) re-measures the instrumented GPR fit and
 //!   batched-predict paths (the same measurement `obs_overhead` reports,
 //!   via `alperf_bench::overhead`) against `BENCH_obs_overhead.json`;
 //! * `fit` re-measures the approximate-GPR tier (end-to-end low-rank fits
 //!   at n=2000/5000 plus the exact-vs-sparse agreement RMSEs, via
-//!   `alperf_bench::fitbench`) against `BENCH_gpr_fit_gate.json`.
+//!   `alperf_bench::fitbench`) against `BENCH_gpr_fit_gate.json`;
+//! * `scale` re-measures fit / pool-prediction / end-to-end campaign
+//!   times at 1/2/4/8 rayon workers plus the pipelined-vs-serial
+//!   campaign ratio (via `alperf_bench::scalebench`) against
+//!   `BENCH_scaling.json`. Speedup-ratio gates carry a `min_cpus` and
+//!   self-skip on machines too small to demonstrate the speedup.
 //!
 //! Gate semantics:
 //!
@@ -37,17 +42,22 @@ use alperf_bench::gate::{
     GateStatus, Machine, Metric,
 };
 use alperf_bench::overhead::{self, BUDGET_PCT};
+use alperf_bench::scalebench::{
+    self, PIPELINE_RATIO_T2_BUDGET, PREDICT_POOL_RATIO_T4_BUDGET, PREDICT_POOL_RATIO_T4_MIN_CPUS,
+};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 const DEFAULT_OBS_BASELINE: &str = "BENCH_obs_overhead.json";
 const DEFAULT_FIT_BASELINE: &str = "BENCH_gpr_fit_gate.json";
+const DEFAULT_SCALE_BASELINE: &str = "BENCH_scaling.json";
 const DEFAULT_TOLERANCE: f64 = 0.15;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Suite {
     Obs,
     Fit,
+    Scale,
 }
 
 impl Suite {
@@ -55,6 +65,7 @@ impl Suite {
         match self {
             Suite::Obs => "obs_overhead",
             Suite::Fit => "gpr_fit_approx",
+            Suite::Scale => "thread_scaling",
         }
     }
 
@@ -62,6 +73,7 @@ impl Suite {
         match self {
             Suite::Obs => DEFAULT_OBS_BASELINE,
             Suite::Fit => DEFAULT_FIT_BASELINE,
+            Suite::Scale => DEFAULT_SCALE_BASELINE,
         }
     }
 
@@ -69,6 +81,7 @@ impl Suite {
         match self {
             Suite::Obs => overhead::measure(quick).metrics(),
             Suite::Fit => fitbench::measure(quick).metrics(),
+            Suite::Scale => scalebench::measure(quick).metrics(),
         }
     }
 
@@ -81,6 +94,7 @@ impl Suite {
                 kind: GateKind::Budget,
                 value: BUDGET_PCT,
                 tol_pct: None,
+                min_cpus: None,
             },
             Suite::Obs => {
                 // Short measurements (batched predict, the per-site ns
@@ -92,6 +106,7 @@ impl Suite {
                     kind: GateKind::Relative,
                     value,
                     tol_pct,
+                    min_cpus: None,
                 }
             }
             Suite::Fit if name.starts_with("gate_rmse_") => Metric {
@@ -100,6 +115,7 @@ impl Suite {
                 kind: GateKind::Budget,
                 value: GATE_RMSE_BUDGET,
                 tol_pct: None,
+                min_cpus: None,
             },
             Suite::Fit if name == "approx_fit_n5000_ms" => Metric {
                 // The point of the approximate tier: an n=5000 low-rank
@@ -108,6 +124,7 @@ impl Suite {
                 kind: GateKind::Budget,
                 value: EXACT_N400_R5_MS,
                 tol_pct: None,
+                min_cpus: None,
             },
             Suite::Fit => Metric {
                 // Sub-second fit timings swing heavily under CPU steal on
@@ -116,6 +133,34 @@ impl Suite {
                 kind: GateKind::Relative,
                 value,
                 tol_pct: Some(50.0),
+                min_cpus: None,
+            },
+            Suite::Scale if name == "predict_pool_ratio_t4" => Metric {
+                // The acceptance speedup: 4 workers must predict the pool
+                // >= 1.5x faster than 1 — but only on hardware that can
+                // actually run 4 workers at once.
+                kind: GateKind::Budget,
+                value: PREDICT_POOL_RATIO_T4_BUDGET,
+                tol_pct: None,
+                min_cpus: Some(PREDICT_POOL_RATIO_T4_MIN_CPUS),
+            },
+            Suite::Scale if name == "pipeline_ratio_t2" => Metric {
+                // Speculative pipelining must beat the serial loop under
+                // measurement latency on any machine — the overlapped
+                // "measurement" sleeps, so even one core wins.
+                kind: GateKind::Budget,
+                value: PIPELINE_RATIO_T2_BUDGET,
+                tol_pct: None,
+                min_cpus: None,
+            },
+            Suite::Scale => Metric {
+                // Per-width absolute times are cross-checked only on the
+                // recording machine at the same pool width; they swing
+                // under CPU steal like every sub-second timing here.
+                kind: GateKind::Relative,
+                value,
+                tol_pct: Some(50.0),
+                min_cpus: None,
             },
         }
     }
@@ -161,13 +206,14 @@ fn today() -> String {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bench_gate [--suite obs|fit] [--baseline <path>] [--tolerance <pct>] [--quick] [--json]\n\
-         \x20      bench_gate --update-baseline [--suite obs|fit] [--baseline <path>] [--quick]"
+        "usage: bench_gate [--suite obs|fit|scale] [--baseline <path>] [--tolerance <pct>] [--quick] [--json]\n\
+         \x20      bench_gate --update-baseline [--suite obs|fit|scale] [--baseline <path>] [--quick]"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
+    let (_, pool_source) = alperf_bench::threads_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut suite = Suite::Obs;
     let mut baseline_path: Option<String> = None;
@@ -181,6 +227,7 @@ fn main() -> ExitCode {
             "--suite" => match it.next().map(String::as_str) {
                 Some("obs") => suite = Suite::Obs,
                 Some("fit") => suite = Suite::Fit,
+                Some("scale") => suite = Suite::Scale,
                 _ => return usage(),
             },
             "--baseline" => match it.next() {
@@ -203,6 +250,8 @@ fn main() -> ExitCode {
         let machine = Machine {
             cpus: cpu_count(),
             commit: short_commit(),
+            threads: Some(alperf_linalg::threads::current() as u64),
+            pool: Some(pool_source.to_string()),
         };
         let metrics: Vec<(&str, Metric)> = suite
             .measure(quick)
@@ -238,13 +287,19 @@ fn main() -> ExitCode {
         .into_iter()
         .map(|(name, value)| (name.to_string(), value))
         .collect();
-    let outcomes = evaluate(&baseline, &current, tolerance, cpu_count(), quick);
+    let threads = alperf_linalg::threads::current() as u64;
+    let outcomes = evaluate(&baseline, &current, tolerance, cpu_count(), threads, quick);
 
     if as_json {
         print!("{}", render_json(&outcomes, tolerance));
     } else {
+        let recorded_pool = match (baseline.machine.threads, &baseline.machine.pool) {
+            (Some(t), Some(p)) => format!(", threads={t} ({p})"),
+            (Some(t), None) => format!(", threads={t}"),
+            _ => String::new(),
+        };
         println!(
-            "gate: {} vs {baseline_path} (recorded at {} on {} cpus, quick={})",
+            "gate: {} vs {baseline_path} (recorded at {} on {} cpus{recorded_pool}, quick={})",
             baseline.bench, baseline.machine.commit, baseline.machine.cpus, baseline.quick
         );
         print!("{}", render_table(&outcomes));

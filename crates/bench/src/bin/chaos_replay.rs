@@ -245,6 +245,7 @@ fn replay(path: &str) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    alperf_bench::threads_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         return usage();

@@ -13,6 +13,7 @@
 use alperf_bench::overhead::{self, BUDGET_PCT};
 
 fn main() {
+    alperf_bench::threads_from_env();
     let quick = std::env::args().any(|a| a == "--quick");
     let r = overhead::measure(quick);
     let (fit_pct, predict_pct) = (r.fit_pct(), r.predict_pct());

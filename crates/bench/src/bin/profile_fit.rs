@@ -151,6 +151,7 @@ fn sweep(sizes: &[usize], restart_counts: &[usize]) {
 }
 
 fn main() {
+    alperf_bench::threads_from_env();
     alperf_obs::set_enabled(true);
     let quick = std::env::args().any(|a| a == "--quick");
     if quick {

@@ -20,6 +20,7 @@ fn timed<F: FnMut()>(name: &'static str, reps: usize, mut f: F) {
 }
 
 fn main() {
+    alperf_bench::threads_from_env();
     alperf_obs::set_enabled(true);
     let n = 200usize;
     let m = 1024usize;

@@ -32,6 +32,13 @@ pub struct Machine {
     /// Short commit hash the baseline was recorded at ("unknown" when
     /// not in a git checkout).
     pub commit: String,
+    /// Rayon worker-pool width the recording run used (`None` in
+    /// baselines recorded before thread-scaling landed — treated as
+    /// "unconstrained", i.e. always comparable).
+    pub threads: Option<u64>,
+    /// How the pool width was chosen: `"env"` (`ALPERF_NUM_THREADS`) or
+    /// `"default"` (hardware parallelism). Informational only.
+    pub pool: Option<String>,
 }
 
 /// Gate kind for one metric.
@@ -56,6 +63,12 @@ pub struct Metric {
     /// wider allowance than the CLI default without loosening the gate on
     /// the stable hot paths. `None` = use the `--tolerance` default.
     pub tol_pct: Option<f64>,
+    /// Minimum hardware thread count the gate is meaningful on. A
+    /// speedup-ratio gate (e.g. "4 threads must beat 1 thread by 1.5x")
+    /// is vacuous on a single-core CI box, so it *skips* — never fails —
+    /// when the current machine has fewer CPUs than this. `None` = gate
+    /// on any machine.
+    pub min_cpus: Option<u64>,
 }
 
 /// A parsed baseline file.
@@ -99,6 +112,14 @@ pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
             .and_then(Json::as_str)
             .unwrap_or("unknown")
             .to_string(),
+        threads: machine
+            .get("threads")
+            .and_then(Json::as_f64)
+            .map(|t| t as u64),
+        pool: machine
+            .get("pool")
+            .and_then(Json::as_str)
+            .map(str::to_string),
     };
     let quick = matches!(doc.get("quick"), Some(Json::Bool(true)));
     let metrics_obj = doc
@@ -117,12 +138,14 @@ pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
             .and_then(Json::as_f64)
             .ok_or_else(|| format!("metric {name:?}: missing numeric \"value\""))?;
         let tol_pct = m.get("tol_pct").and_then(Json::as_f64);
+        let min_cpus = m.get("min_cpus").and_then(Json::as_f64).map(|c| c as u64);
         metrics.insert(
             name.clone(),
             Metric {
                 kind,
                 value,
                 tol_pct,
+                min_cpus,
             },
         );
     }
@@ -150,9 +173,16 @@ pub fn render_baseline(
     let _ = writeln!(out, "  \"schema\": \"{GATE_SCHEMA}\",");
     let _ = writeln!(out, "  \"bench\": \"{bench}\",");
     let _ = writeln!(out, "  \"date\": \"{date}\",");
+    let mut machine_extra = String::new();
+    if let Some(t) = machine.threads {
+        let _ = write!(machine_extra, ", \"threads\": {t}");
+    }
+    if let Some(pool) = &machine.pool {
+        let _ = write!(machine_extra, ", \"pool\": \"{pool}\"");
+    }
     let _ = writeln!(
         out,
-        "  \"machine\": {{ \"cpus\": {}, \"commit\": \"{}\" }},",
+        "  \"machine\": {{ \"cpus\": {}, \"commit\": \"{}\"{machine_extra} }},",
         machine.cpus, machine.commit
     );
     let _ = writeln!(out, "  \"quick\": {quick},");
@@ -163,13 +193,16 @@ pub fn render_baseline(
             GateKind::Budget => "budget",
         };
         let comma = if i + 1 < metrics.len() { "," } else { "" };
-        let tol = m
+        let mut extra = m
             .tol_pct
             .map(|p| format!(", \"tol_pct\": {p:.1}"))
             .unwrap_or_default();
+        if let Some(c) = m.min_cpus {
+            let _ = write!(extra, ", \"min_cpus\": {c}");
+        }
         let _ = writeln!(
             out,
-            "    \"{name}\": {{ \"kind\": \"{kind}\", \"value\": {:.3}{tol} }}{comma}",
+            "    \"{name}\": {{ \"kind\": \"{kind}\", \"value\": {:.3}{extra} }}{comma}",
             m.value
         );
     }
@@ -207,16 +240,22 @@ pub struct GateOutcome {
 }
 
 /// Evaluate every baseline metric against `current` measurements.
-/// `tolerance` is the relative-gate headroom (0.15 = +15%); `cpus` and
-/// `quick` describe the *current* run for the comparability check.
+/// `tolerance` is the relative-gate headroom (0.15 = +15%); `cpus`,
+/// `threads`, and `quick` describe the *current* run for the
+/// comparability check. A baseline recorded with an explicit pool width
+/// (`machine.threads`) is only time-comparable to a run at the same
+/// width; pre-threading baselines (no `threads` field) compare as before.
 pub fn evaluate(
     baseline: &Baseline,
     current: &BTreeMap<String, f64>,
     tolerance: f64,
     cpus: u64,
+    threads: u64,
     quick: bool,
 ) -> Vec<GateOutcome> {
-    let comparable = cpus == baseline.machine.cpus && quick == baseline.quick;
+    let comparable = cpus == baseline.machine.cpus
+        && quick == baseline.quick
+        && baseline.machine.threads.is_none_or(|t| t == threads);
     let mut outcomes = Vec::with_capacity(baseline.metrics.len());
     for (name, metric) in &baseline.metrics {
         let Some(&cur) = current.get(name) else {
@@ -230,7 +269,15 @@ pub fn evaluate(
             });
             continue;
         };
+        let under_min_cpus = metric.min_cpus.is_some_and(|mc| cpus < mc);
         let (status, detail) = match metric.kind {
+            _ if under_min_cpus => (
+                GateStatus::Skipped,
+                format!(
+                    "needs >= {} cpus (machine has {cpus}); speedup gate vacuous here",
+                    metric.min_cpus.unwrap_or(0)
+                ),
+            ),
             GateKind::Relative if !comparable => (
                 GateStatus::Skipped,
                 format!(
@@ -390,7 +437,7 @@ mod tests {
         let b = parse_baseline(&baseline_text(3500.0)).unwrap();
         assert_eq!(b.machine.cpus, 1);
         assert_eq!(b.machine.commit, "abc1234");
-        let out = evaluate(&b, &current(3600.0, 0.5), 0.15, 1, false);
+        let out = evaluate(&b, &current(3600.0, 0.5), 0.15, 1, 1, false);
         assert!(!any_failed(&out), "{}", render_table(&out));
     }
 
@@ -400,7 +447,7 @@ mod tests {
         // takes 3600 ms — the inflated performance claim the gate exists
         // to catch.
         let b = parse_baseline(&baseline_text(1000.0)).unwrap();
-        let out = evaluate(&b, &current(3600.0, 0.5), 0.15, 1, false);
+        let out = evaluate(&b, &current(3600.0, 0.5), 0.15, 1, 1, false);
         assert!(any_failed(&out));
         let fit = out.iter().find(|o| o.name == "fit_ms").unwrap();
         assert_eq!(fit.status, GateStatus::Fail);
@@ -410,7 +457,7 @@ mod tests {
     fn budget_gate_enforced_on_any_machine() {
         let b = parse_baseline(&baseline_text(1000.0)).unwrap();
         // Different cpu count: relative gate skipped, budget still fails.
-        let out = evaluate(&b, &current(3600.0, 5.0), 0.15, 8, false);
+        let out = evaluate(&b, &current(3600.0, 5.0), 0.15, 8, 8, false);
         let fit = out.iter().find(|o| o.name == "fit_ms").unwrap();
         assert_eq!(fit.status, GateStatus::Skipped);
         let pct = out.iter().find(|o| o.name == "fit_overhead_pct").unwrap();
@@ -421,7 +468,7 @@ mod tests {
     #[test]
     fn quick_mode_mismatch_skips_relative_gates() {
         let b = parse_baseline(&baseline_text(3500.0)).unwrap();
-        let out = evaluate(&b, &current(50.0, 0.5), 0.15, 1, true);
+        let out = evaluate(&b, &current(50.0, 0.5), 0.15, 1, 1, true);
         let fit = out.iter().find(|o| o.name == "fit_ms").unwrap();
         assert_eq!(fit.status, GateStatus::Skipped);
         assert!(!any_failed(&out));
@@ -430,7 +477,7 @@ mod tests {
     #[test]
     fn missing_metric_fails() {
         let b = parse_baseline(&baseline_text(3500.0)).unwrap();
-        let out = evaluate(&b, &BTreeMap::new(), 0.15, 1, false);
+        let out = evaluate(&b, &BTreeMap::new(), 0.15, 1, 1, false);
         assert!(any_failed(&out));
         assert!(out.iter().all(|o| o.status == GateStatus::Fail));
     }
@@ -440,6 +487,8 @@ mod tests {
         let machine = Machine {
             cpus: 4,
             commit: "deadbee".into(),
+            threads: Some(4),
+            pool: Some("env".into()),
         };
         let metrics = [
             (
@@ -448,6 +497,7 @@ mod tests {
                     kind: GateKind::Relative,
                     value: 123.456,
                     tol_pct: None,
+                    min_cpus: None,
                 },
             ),
             (
@@ -456,6 +506,7 @@ mod tests {
                     kind: GateKind::Relative,
                     value: 3.25,
                     tol_pct: Some(50.0),
+                    min_cpus: None,
                 },
             ),
             (
@@ -464,6 +515,16 @@ mod tests {
                     kind: GateKind::Budget,
                     value: 2.0,
                     tol_pct: None,
+                    min_cpus: None,
+                },
+            ),
+            (
+                "predict_pool_ratio_t4",
+                Metric {
+                    kind: GateKind::Budget,
+                    value: 0.667,
+                    tol_pct: None,
+                    min_cpus: Some(4),
                 },
             ),
         ];
@@ -472,11 +533,75 @@ mod tests {
         assert_eq!(back.bench, "obs_overhead");
         assert_eq!(back.machine, machine);
         assert!(back.quick);
-        assert_eq!(back.metrics.len(), 3);
+        assert_eq!(back.metrics.len(), 4);
         assert!((back.metrics["fit_ms"].value - 123.456).abs() < 1e-9);
         assert_eq!(back.metrics["fit_ms"].tol_pct, None);
+        assert_eq!(back.metrics["fit_ms"].min_cpus, None);
         assert_eq!(back.metrics["predict_ms"].tol_pct, Some(50.0));
         assert_eq!(back.metrics["fit_overhead_pct"].kind, GateKind::Budget);
+        assert_eq!(back.metrics["predict_pool_ratio_t4"].min_cpus, Some(4));
+    }
+
+    #[test]
+    fn pre_threading_baseline_still_parses_and_compares() {
+        // A baseline recorded before the threads/pool/min_cpus fields
+        // existed must parse (fields default to None) and stay
+        // comparable at any current pool width.
+        let b = parse_baseline(&baseline_text(3500.0)).unwrap();
+        assert_eq!(b.machine.threads, None);
+        assert_eq!(b.machine.pool, None);
+        let out = evaluate(&b, &current(3600.0, 0.5), 0.15, 1, 7, false);
+        let fit = out.iter().find(|o| o.name == "fit_ms").unwrap();
+        assert_eq!(fit.status, GateStatus::Pass, "{}", fit.detail);
+    }
+
+    #[test]
+    fn thread_width_mismatch_skips_relative_gates() {
+        let text = r#"{
+  "schema": "alperf-bench-gate-v1",
+  "bench": "thread_scaling",
+  "machine": { "cpus": 1, "commit": "abc1234", "threads": 4, "pool": "env" },
+  "quick": false,
+  "metrics": {
+    "fit_ms_t4": { "kind": "relative", "value": 100.0 }
+  }
+}"#;
+        let b = parse_baseline(text).unwrap();
+        assert_eq!(b.machine.threads, Some(4));
+        assert_eq!(b.machine.pool.as_deref(), Some("env"));
+        let cur = BTreeMap::from([("fit_ms_t4".to_string(), 500.0)]);
+        // Same cpus/quick but a different pool width: skipped, not failed.
+        let out = evaluate(&b, &cur, 0.15, 1, 2, false);
+        assert_eq!(out[0].status, GateStatus::Skipped);
+        // Matching width: the regression fails.
+        let out = evaluate(&b, &cur, 0.15, 1, 4, false);
+        assert_eq!(out[0].status, GateStatus::Fail);
+    }
+
+    #[test]
+    fn min_cpus_skips_speedup_gates_on_small_machines() {
+        let text = r#"{
+  "schema": "alperf-bench-gate-v1",
+  "bench": "thread_scaling",
+  "machine": { "cpus": 8, "commit": "abc1234", "threads": 8 },
+  "quick": false,
+  "metrics": {
+    "predict_pool_ratio_t4": { "kind": "budget", "value": 0.667, "min_cpus": 4 }
+  }
+}"#;
+        let b = parse_baseline(text).unwrap();
+        // Ratio ~1.0 (no speedup) on a 1-cpu box: skipped, not failed.
+        let cur = BTreeMap::from([("predict_pool_ratio_t4".to_string(), 1.02)]);
+        let out = evaluate(&b, &cur, 0.15, 1, 1, false);
+        assert_eq!(out[0].status, GateStatus::Skipped, "{}", out[0].detail);
+        assert!(!any_failed(&out));
+        // On >= 4 cpus the budget is enforced: 1.02 >= 0.667 fails...
+        let out = evaluate(&b, &cur, 0.15, 4, 4, false);
+        assert_eq!(out[0].status, GateStatus::Fail);
+        // ...and a real 1.5x speedup passes.
+        let good = BTreeMap::from([("predict_pool_ratio_t4".to_string(), 0.55)]);
+        let out = evaluate(&b, &good, 0.15, 4, 4, false);
+        assert_eq!(out[0].status, GateStatus::Pass, "{}", out[0].detail);
     }
 
     #[test]
@@ -494,10 +619,10 @@ mod tests {
         let cur = BTreeMap::from([("predict_ms".to_string(), 4.2)]);
         // 4.2 is 40% over 3.0: fails the 15% CLI default, passes the
         // metric's own 50% allowance.
-        let out = evaluate(&b, &cur, 0.15, 1, false);
+        let out = evaluate(&b, &cur, 0.15, 1, 1, false);
         assert_eq!(out[0].status, GateStatus::Pass, "{}", out[0].detail);
         let cur_bad = BTreeMap::from([("predict_ms".to_string(), 4.6)]);
-        let out = evaluate(&b, &cur_bad, 0.15, 1, false);
+        let out = evaluate(&b, &cur_bad, 0.15, 1, 1, false);
         assert_eq!(out[0].status, GateStatus::Fail);
     }
 

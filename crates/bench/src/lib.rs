@@ -12,6 +12,7 @@ pub mod fitbench;
 pub mod gate;
 pub mod overhead;
 pub mod plot;
+pub mod scalebench;
 
 use alperf_cluster::campaign::{Campaign, CampaignOutput};
 use alperf_data::csvio;
@@ -124,6 +125,16 @@ pub fn obs_from_env() -> bool {
     }
     alperf_obs::set_enabled(true);
     true
+}
+
+/// Configure the global rayon pool from `ALPERF_NUM_THREADS`, once per
+/// process (the thread-pool sibling of [`obs_from_env`] — call it at the
+/// top of every binary's `main`). Returns the configured width (`0` =
+/// all cores) and its source label (`"env"` / `"default"`) for banners
+/// and bench-gate machine metadata.
+pub fn threads_from_env() -> (usize, &'static str) {
+    let (n, source) = alperf_linalg::threads::configure_from_env();
+    (n, source.label())
 }
 
 /// Flush the telemetry trace and write the Prometheus snapshot, if

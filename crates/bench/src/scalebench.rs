@@ -1,0 +1,293 @@
+//! Thread-scaling benchmark: the same three hot paths at 1/2/4/8 rayon
+//! workers, plus a pipelined-vs-serial AL campaign comparison.
+//!
+//! Shared by the `scaling_report` binary and the `bench_gate --suite
+//! scale` CI gate, which must measure exactly what the checked-in
+//! `BENCH_scaling.json` baseline recorded. Three measurement families:
+//!
+//! * `fit_ms_t{1,2,4,8}` — a multi-restart GPR hyperparameter fit
+//!   (restart ascents parallelize, `GprConfig::parallel`);
+//! * `predict_pool_ms_t{1,2,4,8}` — batched posterior prediction over a
+//!   large candidate pool (covariance assembly and matmul tiles
+//!   parallelize in `alperf-linalg`);
+//! * `campaign_ms_t{1,2,4,8}` — an end-to-end AL campaign
+//!   (fit + predict + acquisition scoring per iteration).
+//!
+//! Pool widths are applied with [`alperf_linalg::threads::with_threads`],
+//! so an in-process sweep never rebuilds global state. On a machine with
+//! fewer hardware threads than a requested width the extra workers just
+//! time-share — absolute times stay honest, speedup ratios go to ~1, and
+//! the ratio gates self-skip via their `min_cpus` (see `gate::Metric`).
+//!
+//! The pipeline comparison runs the same campaign twice at 2 workers
+//! against a [`LatencyOracle`] (a real per-measurement sleep):
+//! `PipelineConfig::Off` pays `select + measure` per iteration,
+//! `PipelineConfig::Speculative` overlaps the next selection with the
+//! in-flight measurement and pays `max(select, measure)`. Sleeping burns
+//! no CPU, so this win survives even a single-core machine.
+
+use crate::overhead::{best_ms, pool_points, training_data};
+use alperf_al::oracle::LatencyOracle;
+use alperf_al::runner::{run_al_with_oracle, AlConfig, PipelineConfig};
+use alperf_al::strategy::VarianceReduction;
+use alperf_al::DatasetOracle;
+use alperf_data::partition::Partition;
+use alperf_gp::kernel::SquaredExponential;
+use alperf_gp::model::Gpr;
+use alperf_gp::noise::NoiseFloor;
+use alperf_gp::optimize::{fit_gpr, GprConfig};
+use alperf_linalg::matrix::Matrix;
+use alperf_linalg::threads::with_threads;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Pool widths every family is measured at.
+pub const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Metric names for the fit family, index-aligned with [`THREADS`].
+pub const FIT_NAMES: [&str; 4] = ["fit_ms_t1", "fit_ms_t2", "fit_ms_t4", "fit_ms_t8"];
+/// Metric names for the pool-prediction family.
+pub const PREDICT_POOL_NAMES: [&str; 4] = [
+    "predict_pool_ms_t1",
+    "predict_pool_ms_t2",
+    "predict_pool_ms_t4",
+    "predict_pool_ms_t8",
+];
+/// Metric names for the end-to-end campaign family.
+pub const CAMPAIGN_NAMES: [&str; 4] = [
+    "campaign_ms_t1",
+    "campaign_ms_t2",
+    "campaign_ms_t4",
+    "campaign_ms_t8",
+];
+
+/// Budget for `predict_pool_ratio_t4` (4-thread / 1-thread pool
+/// prediction time): below 1/1.5 means the ISSUE's ">= 1.5x at 4
+/// threads" held. Gated only on machines with >= 4 CPUs.
+pub const PREDICT_POOL_RATIO_T4_BUDGET: f64 = 1.0 / 1.5;
+/// Minimum CPU count for the 4-thread speedup gate to be meaningful.
+pub const PREDICT_POOL_RATIO_T4_MIN_CPUS: u64 = 4;
+/// Budget for `pipeline_ratio_t2` (speculative / serial campaign wall
+/// time under measurement latency): the pipelined runner must win
+/// clearly, not marginally. Enforced everywhere — the overlap comes from
+/// sleeping measurements, which single-core machines overlap fine.
+pub const PIPELINE_RATIO_T2_BUDGET: f64 = 0.9;
+
+/// One full thread-scaling measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleResult {
+    /// Quick (CI smoke) sizes were used.
+    pub quick: bool,
+    /// GPR training-set size (fit + campaign families).
+    pub n: usize,
+    /// Candidate-pool size (predict family).
+    pub m: usize,
+    /// Optimizer restarts in the fit family.
+    pub restarts: usize,
+    /// Fit wall time at each width in [`THREADS`], ms (min over reps).
+    pub fit_ms: [f64; 4],
+    /// Pool-prediction wall time at each width, ms.
+    pub predict_pool_ms: [f64; 4],
+    /// End-to-end campaign wall time at each width, ms.
+    pub campaign_ms: [f64; 4],
+    /// Serial-pipeline campaign wall time under measurement latency, ms.
+    pub pipeline_serial_ms: f64,
+    /// Speculative-pipeline campaign wall time, same setup, ms.
+    pub pipeline_spec_ms: f64,
+}
+
+impl ScaleResult {
+    /// 4-thread over 1-thread pool-prediction time (lower is better;
+    /// `< 1/1.5` = the acceptance speedup).
+    pub fn predict_pool_ratio_t4(&self) -> f64 {
+        self.predict_pool_ms[2] / self.predict_pool_ms[0]
+    }
+
+    /// Speculative over serial campaign wall time at 2 workers under
+    /// measurement latency (lower is better).
+    pub fn pipeline_ratio_t2(&self) -> f64 {
+        self.pipeline_spec_ms / self.pipeline_serial_ms
+    }
+
+    /// The metrics the `bench_gate` baseline gates on, by stable name.
+    /// `*_ms_t<w>` are absolute per-width times (relative gates);
+    /// `*_ratio_*` are hardware-normalized speedups (budget gates).
+    pub fn metrics(&self) -> Vec<(&'static str, f64)> {
+        let mut out = Vec::with_capacity(14);
+        out.extend(FIT_NAMES.iter().copied().zip(self.fit_ms));
+        out.extend(PREDICT_POOL_NAMES.iter().copied().zip(self.predict_pool_ms));
+        out.extend(CAMPAIGN_NAMES.iter().copied().zip(self.campaign_ms));
+        out.push(("predict_pool_ratio_t4", self.predict_pool_ratio_t4()));
+        out.push(("pipeline_ratio_t2", self.pipeline_ratio_t2()));
+        out
+    }
+}
+
+/// Benchmark sizes: `(n, m, restarts, reps, al_iters)` for quick/full.
+pub fn sizes(quick: bool) -> (usize, usize, usize, usize, usize) {
+    if quick {
+        (48, 2048, 8, 3, 10)
+    } else {
+        (160, 8192, 8, 5, 24)
+    }
+}
+
+/// Deterministic synthetic AL problem over `n` rows (1-D smooth response
+/// with mild noise-free wiggle; unit costs).
+fn al_problem(n: usize) -> (Matrix, Vec<f64>, Vec<f64>, Partition) {
+    let xs: Vec<f64> = (0..n).map(|i| i as f64 * 8.0 / n as f64).collect();
+    let y: Vec<f64> = xs.iter().map(|v| v.sin() * 2.0 + 0.05 * v).collect();
+    let cost = vec![1.0; n];
+    let part = Partition::random(n, 2, 0.8, 5);
+    (Matrix::from_vec(n, 1, xs).unwrap(), y, cost, part)
+}
+
+fn campaign_config(restart_seed: u64, al_iters: usize, pipeline: PipelineConfig) -> AlConfig {
+    let gpr = GprConfig::new(Box::new(SquaredExponential::unit()))
+        .with_noise_floor(NoiseFloor::Fixed(0.05))
+        .with_restarts(2)
+        .with_seed(restart_seed);
+    AlConfig {
+        max_iters: al_iters,
+        seed: 3,
+        pipeline,
+        ..AlConfig::new(gpr)
+    }
+}
+
+/// Run the full thread-scaling measurement. Telemetry stays untouched
+/// (these paths are timed with instrumentation in whatever state the
+/// caller left it; the gate runs with it disabled).
+pub fn measure(quick: bool) -> ScaleResult {
+    let (n, m, restarts, reps, al_iters) = sizes(quick);
+    let (x, y) = training_data(n);
+    let pool = pool_points(m);
+    let fit_cfg = GprConfig::new(Box::new(SquaredExponential::unit()))
+        .with_noise_floor(NoiseFloor::recommended())
+        .with_restarts(restarts)
+        .with_seed(17);
+    let gpr = Gpr::fit(
+        x.clone(),
+        &y,
+        Box::new(SquaredExponential::new(1.0, 1.0)),
+        0.1,
+        true,
+    )
+    .unwrap();
+    let (ax, ay, acost, apart) = al_problem(n.max(60));
+
+    let mut fit_ms = [0.0; 4];
+    let mut predict_pool_ms = [0.0; 4];
+    let mut campaign_ms = [0.0; 4];
+    for (i, &t) in THREADS.iter().enumerate() {
+        with_threads(t, || {
+            fit_ms[i] = best_ms(reps, || {
+                black_box(fit_gpr(&x, &y, &fit_cfg).unwrap());
+            });
+            predict_pool_ms[i] = best_ms(reps * 4, || {
+                black_box(gpr.predict_batch(&pool).unwrap());
+            });
+            campaign_ms[i] = best_ms(reps.div_ceil(2), || {
+                let cfg = campaign_config(7, al_iters, PipelineConfig::Off);
+                black_box(
+                    run_al_with_oracle(
+                        &ax,
+                        &ay,
+                        &acost,
+                        &apart,
+                        &mut VarianceReduction,
+                        &DatasetOracle,
+                        &cfg,
+                    )
+                    .unwrap(),
+                );
+            });
+        });
+    }
+
+    // Pipelined vs serial under measurement latency, 2 workers: one for
+    // the in-flight measurement (asleep), one for the refit/select side.
+    // The overlap win peaks when the measurement takes about as long as
+    // one refit+select round (serial pays `s + l`, pipelined `max(s, l)`),
+    // so derive the latency from the campaign just measured instead of
+    // hard-coding a value that dwarfs — or is dwarfed by — the select
+    // side on unknown hardware. The 2 ms floor keeps OS sleep granularity
+    // out of the signal; the 40 ms ceiling bounds gate runtime.
+    let per_iter_ms = campaign_ms[1] / al_iters as f64;
+    let latency = Duration::from_secs_f64(per_iter_ms.clamp(2.0, 40.0) / 1e3);
+    let oracle = LatencyOracle::new(DatasetOracle, latency);
+    let (mut pipeline_serial_ms, mut pipeline_spec_ms) = (f64::INFINITY, f64::INFINITY);
+    with_threads(2, || {
+        for pipeline in [PipelineConfig::Off, PipelineConfig::Speculative] {
+            let ms = best_ms(2, || {
+                let cfg = campaign_config(7, al_iters, pipeline);
+                black_box(
+                    run_al_with_oracle(
+                        &ax,
+                        &ay,
+                        &acost,
+                        &apart,
+                        &mut VarianceReduction,
+                        &oracle,
+                        &cfg,
+                    )
+                    .unwrap(),
+                );
+            });
+            match pipeline {
+                PipelineConfig::Off => pipeline_serial_ms = ms,
+                PipelineConfig::Speculative => pipeline_spec_ms = ms,
+            }
+        }
+    });
+
+    ScaleResult {
+        quick,
+        n,
+        m,
+        restarts,
+        fit_ms,
+        predict_pool_ms,
+        campaign_ms,
+        pipeline_serial_ms,
+        pipeline_spec_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_names_are_aligned_and_unique() {
+        let r = ScaleResult {
+            quick: true,
+            n: 8,
+            m: 8,
+            restarts: 1,
+            fit_ms: [1.0, 2.0, 3.0, 4.0],
+            predict_pool_ms: [10.0, 6.0, 5.0, 5.0],
+            campaign_ms: [20.0, 12.0, 9.0, 9.0],
+            pipeline_serial_ms: 100.0,
+            pipeline_spec_ms: 70.0,
+        };
+        let metrics = r.metrics();
+        assert_eq!(metrics.len(), 14);
+        let names: std::collections::BTreeSet<_> = metrics.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), 14, "duplicate metric name");
+        assert!((r.predict_pool_ratio_t4() - 0.5).abs() < 1e-12);
+        assert!((r.pipeline_ratio_t2() - 0.7).abs() < 1e-12);
+        for (i, name) in FIT_NAMES.iter().enumerate() {
+            assert!(name.ends_with(&format!("_t{}", THREADS[i])));
+        }
+    }
+
+    #[test]
+    fn al_problem_is_a_valid_cover() {
+        let (x, y, cost, part) = al_problem(60);
+        assert_eq!(x.nrows(), 60);
+        assert_eq!(y.len(), 60);
+        assert_eq!(cost.len(), 60);
+        assert!(part.is_valid_cover(60));
+    }
+}

@@ -27,6 +27,7 @@ pub mod fastmath;
 pub mod lowrank;
 pub mod matrix;
 pub mod stats;
+pub mod threads;
 pub mod triangular;
 pub mod vector;
 

@@ -16,24 +16,44 @@
 
 use std::cell::Cell;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 thread_local! {
-    /// Per-thread override of the fan-out width. `None` means "use all
-    /// available cores". Workers run with a limit of 1 so nested parallel
-    /// calls do not oversubscribe the machine.
+    /// Per-thread override of the fan-out width. `None` means "defer to the
+    /// global limit / all available cores". Workers run with a limit of 1 so
+    /// nested parallel calls do not oversubscribe the machine.
     static PAR_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
+/// Process-wide fan-out width installed by [`ThreadPoolBuilder::build_global`].
+/// 0 means "unset" (fall through to `available_parallelism`). Consulted after
+/// the thread-local limit so scoped `ThreadPool::install` still wins, and
+/// visible from freshly spawned threads (unlike the thread-local).
+static GLOBAL_LIMIT: AtomicUsize = AtomicUsize::new(0);
+
 fn effective_threads() -> usize {
-    PAR_LIMIT.with(|c| c.get()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    })
+    if let Some(n) = PAR_LIMIT.with(|c| c.get()) {
+        return n;
+    }
+    let global = GLOBAL_LIMIT.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The fan-out width parallel calls on this thread would currently use:
+/// the scoped [`ThreadPool::install`] limit if one is active, else the
+/// global pool width, else `available_parallelism`. Mirrors
+/// `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    effective_threads()
 }
 
 fn with_limit<R>(n: usize, op: impl FnOnce() -> R) -> R {
@@ -297,6 +317,16 @@ impl ThreadPoolBuilder {
             n: self.num_threads,
         })
     }
+
+    /// Install this width as the process-wide default, mirroring
+    /// `rayon::ThreadPoolBuilder::build_global`. Unlike upstream (which
+    /// errors on a second call) the shim lets later calls overwrite the
+    /// width — there is no pool of OS threads to rebuild, only a limit —
+    /// which keeps in-process thread-count sweeps possible for benches.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_LIMIT.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -360,6 +390,26 @@ mod tests {
     fn sum_matches_serial() {
         let s: f64 = (0..1000usize).into_par_iter().map(|i| i as f64).sum();
         assert_eq!(s, 499_500.0);
+    }
+
+    #[test]
+    fn global_limit_and_current_num_threads() {
+        // Scoped install wins over everything and is restored on exit.
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        // build_global sets the process default; a scoped install still
+        // overrides it, and results stay order-preserved either way.
+        ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build_global()
+            .unwrap();
+        assert_eq!(current_num_threads(), 2);
+        assert_eq!(pool.install(current_num_threads), 3);
+        let out: Vec<usize> = (0..50usize).into_par_iter().map(|i| i + 7).collect();
+        assert_eq!(out, (0..50).map(|i| i + 7).collect::<Vec<_>>());
+        // Unset (0) falls back to available_parallelism.
+        ThreadPoolBuilder::new().build_global().unwrap();
+        assert!(current_num_threads() >= 1);
     }
 
     #[test]
