@@ -405,6 +405,32 @@ fn run_al_serial(
             ],
         );
     }
+    // Per-campaign labeled series, resolved once so the per-iteration cost
+    // is a single relaxed atomic on the cached child handle. The fit-time
+    // family is keyed by (strategy, tier) and the tier can change across
+    // iterations (Auto tier), so that one is resolved per iteration.
+    let campaign_label = run_id.to_string();
+    let campaign_key = format!("campaign:{run_id}");
+    let campaign_iters = obs_on.then(|| {
+        alperf_obs::counter_vec(
+            names::AL_CAMPAIGN_ITERATIONS,
+            &[names::LABEL_CAMPAIGN, names::LABEL_STRATEGY],
+        )
+        .with(&[&campaign_label, strategy.name()])
+    });
+    let campaign_degraded = obs_on.then(|| {
+        alperf_obs::counter_vec(
+            names::AL_CAMPAIGN_DEGRADED,
+            &[names::LABEL_CAMPAIGN, names::LABEL_STRATEGY],
+        )
+        .with(&[&campaign_label, strategy.name()])
+    });
+    let fit_by_tier = obs_on.then(|| {
+        alperf_obs::histogram_vec(
+            names::AL_FIT_BY_TIER,
+            &[names::LABEL_STRATEGY, names::LABEL_TIER],
+        )
+    });
 
     // Batched-prediction caches over the pool and the (fixed) test set.
     // Between hyperparameter refits these maintain K(candidates, train)
@@ -521,6 +547,11 @@ fn run_al_serial(
             // and cache->train mapping are untouched.
             if obs_on {
                 alperf_obs::inc(names::AL_DEGRADED_ITERATION);
+                if let Some(c) = &campaign_degraded {
+                    c.inc();
+                }
+                // A degraded iteration is still forward progress.
+                alperf_obs::watchdog::global().beat(&campaign_key);
                 alperf_obs::record(
                     names::AL_DEGRADED_ITERATION,
                     &[
@@ -571,6 +602,13 @@ fn run_al_serial(
             // (The stage spans above already record into the
             // al.iteration.* histograms on drop.)
             alperf_obs::inc("al.iterations");
+            if let Some(c) = &campaign_iters {
+                c.inc();
+            }
+            if let Some(f) = &fit_by_tier {
+                f.with(&[strategy.name(), m.tier_name()]).record(fit_ns);
+            }
+            alperf_obs::watchdog::global().beat(&campaign_key);
         }
         history.push(IterationRecord {
             iter,
@@ -597,6 +635,10 @@ fn run_al_serial(
         if config.refit_every <= 1 {
             model = None;
         }
+    }
+    if obs_on {
+        // A finished campaign is not a stalled one.
+        alperf_obs::watchdog::global().clear(&campaign_key);
     }
     Ok(AlRun {
         strategy: strategy.name(),
@@ -805,6 +847,30 @@ fn run_al_pipelined(
             ],
         );
     }
+    // Same per-campaign labeled series as the serial loop (one resolved
+    // child handle; per-event cost is a relaxed atomic).
+    let campaign_label = run_id.to_string();
+    let campaign_key = format!("campaign:{run_id}");
+    let campaign_iters = obs_on.then(|| {
+        alperf_obs::counter_vec(
+            names::AL_CAMPAIGN_ITERATIONS,
+            &[names::LABEL_CAMPAIGN, names::LABEL_STRATEGY],
+        )
+        .with(&[&campaign_label, strategy.name()])
+    });
+    let campaign_degraded = obs_on.then(|| {
+        alperf_obs::counter_vec(
+            names::AL_CAMPAIGN_DEGRADED,
+            &[names::LABEL_CAMPAIGN, names::LABEL_STRATEGY],
+        )
+        .with(&[&campaign_label, strategy.name()])
+    });
+    let fit_by_tier = obs_on.then(|| {
+        alperf_obs::histogram_vec(
+            names::AL_FIT_BY_TIER,
+            &[names::LABEL_STRATEGY, names::LABEL_TIER],
+        )
+    });
 
     let mut pool_cache = PoolPredictionCache::new(x_all.select_rows(&pool));
     let mut test_cache = PoolPredictionCache::new(x_all.select_rows(test));
@@ -912,6 +978,10 @@ fn run_al_pipelined(
                 if obs_on {
                     alperf_obs::inc(names::AL_DEGRADED_ITERATION);
                     alperf_obs::inc(names::AL_PIPELINE_LOST_SPECULATION);
+                    if let Some(c) = &campaign_degraded {
+                        c.inc();
+                    }
+                    alperf_obs::watchdog::global().beat(&campaign_key);
                     alperf_obs::record(
                         names::AL_DEGRADED_ITERATION,
                         &[
@@ -966,6 +1036,13 @@ fn run_al_pipelined(
                         ],
                     );
                     alperf_obs::inc("al.iterations");
+                    if let Some(c) = &campaign_iters {
+                        c.inc();
+                    }
+                    if let Some(f) = &fit_by_tier {
+                        f.with(&[strategy.name(), p.tier]).record(p.fit_ns);
+                    }
+                    alperf_obs::watchdog::global().beat(&campaign_key);
                 }
                 history.push(IterationRecord {
                     iter: p.iter,
@@ -997,6 +1074,9 @@ fn run_al_pipelined(
         if pending.is_some() {
             iter += 1;
         }
+    }
+    if obs_on {
+        alperf_obs::watchdog::global().clear(&campaign_key);
     }
     Ok(AlRun {
         strategy: strategy.name(),

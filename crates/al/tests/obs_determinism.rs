@@ -1,9 +1,11 @@
 //! Determinism guard: telemetry must be strictly observational.
 //!
 //! Runs the same small AL experiment with telemetry off and then fully on
-//! (global switch + JSONL trace sink), same seed, and requires the
-//! *bit-identical* histories — RMSE/AMSD/sigma_f traces, selected-candidate
-//! sequence, costs, LML, noise — via `IterationRecord`'s `PartialEq`.
+//! (global switch + JSONL trace sink + labeled metric families + the
+//! stack-sampling profiler + the streaming aggregator), same seed, and
+//! requires the *bit-identical* histories — RMSE/AMSD/sigma_f traces,
+//! selected-candidate sequence, costs, LML, noise — via
+//! `IterationRecord`'s `PartialEq`.
 //! This is the contract that lets instrumentation live inside the hot
 //! numeric paths: a telemetry-on run may only be slower, never different.
 //!
@@ -100,13 +102,29 @@ fn telemetry_on_is_bit_identical_to_telemetry_off() {
     let off_sparse = run_once_sparse();
     let off_pipelined = run_once_pipelined();
 
-    // Telemetry fully on: global switch, JSONL trace, metrics registry.
+    // Telemetry fully on: global switch, JSONL trace, metrics registry —
+    // plus the full live-telemetry stack (cooperative stack sampler at an
+    // aggressive rate and the streaming aggregator), which must be just
+    // as strictly observational as the passive sinks.
     let trace = std::env::temp_dir().join(format!(
         "alperf_obs_determinism_{}.jsonl",
         std::process::id()
     ));
     alperf_obs::sink::install_jsonl(&trace).unwrap();
     alperf_obs::set_enabled(true);
+    let sampler = alperf_obs::profiler::start(500.0);
+    let aggregator = alperf_obs::aggregate::install(alperf_obs::aggregate::DEFAULT_WINDOW_NS);
+    let campaign_iters_before = alperf_obs::counter_vec(
+        alperf_obs::names::AL_CAMPAIGN_ITERATIONS,
+        &[
+            alperf_obs::names::LABEL_CAMPAIGN,
+            alperf_obs::names::LABEL_STRATEGY,
+        ],
+    )
+    .snapshot()
+    .iter()
+    .map(|(_, v)| v)
+    .sum::<u64>();
     let on = run_once();
     // Second telemetry-on run: run ids differ, numerics must not.
     let on2 = run_once();
@@ -114,6 +132,9 @@ fn telemetry_on_is_bit_identical_to_telemetry_off() {
     let stale_before = alperf_obs::counter(alperf_obs::names::AL_PIPELINE_STALE_SELECTS).get();
     let reconciles_before = alperf_obs::counter(alperf_obs::names::AL_PIPELINE_RECONCILES).get();
     let on_pipelined = run_once_pipelined();
+    let agg = aggregator.snapshot();
+    sampler.stop();
+    alperf_obs::aggregate::uninstall();
     alperf_obs::set_enabled(false);
     alperf_obs::sink::uninstall();
 
@@ -178,5 +199,47 @@ fn telemetry_on_is_bit_identical_to_telemetry_off() {
         alperf_obs::counter(alperf_obs::names::AL_PIPELINE_RECONCILES).get() - reconciles_before,
         on_pipelined.history.len() as u64,
         "one reconcile per measured pipelined iteration"
+    );
+
+    // The live-telemetry stack was really running, not just enabled:
+    // labeled per-campaign counters advanced (one series per run id, all
+    // tagged with the strategy), and the aggregator tracked the runs.
+    let campaign_iters = alperf_obs::counter_vec(
+        alperf_obs::names::AL_CAMPAIGN_ITERATIONS,
+        &[
+            alperf_obs::names::LABEL_CAMPAIGN,
+            alperf_obs::names::LABEL_STRATEGY,
+        ],
+    )
+    .snapshot();
+    let labeled_total: u64 = campaign_iters.iter().map(|(_, v)| v).sum();
+    let expected = (on.history.len()
+        + on2.history.len()
+        + on_sparse.history.len()
+        + on_pipelined.history.len()) as u64;
+    assert!(
+        labeled_total - campaign_iters_before >= expected,
+        "labeled campaign counters advanced by {} (< {expected})",
+        labeled_total - campaign_iters_before
+    );
+    assert!(
+        campaign_iters
+            .iter()
+            .all(|(values, _)| values[1] == "variance_reduction"),
+        "campaign series not tagged with the strategy label"
+    );
+    assert!(
+        !agg.campaigns.is_empty(),
+        "aggregator saw no campaigns from the telemetry-on runs"
+    );
+    // The sampler observed the telemetry-on runs without perturbing them
+    // (the bit-identity assertions above ran with it armed).
+    assert!(
+        alperf_obs::counter(alperf_obs::names::OBS_PROFILER_SAMPLES).get() > 0,
+        "stack sampler took no samples during the telemetry-on runs"
+    );
+    assert!(
+        text.lines().any(|l| l.contains("\"t\":\"sample\"")),
+        "trace has no profiler sample records"
     );
 }

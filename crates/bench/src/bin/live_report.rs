@@ -1,0 +1,176 @@
+//! Live fleet telemetry smoke/demo: runs short AL campaigns with the
+//! streaming aggregator and the cooperative stack sampler switched on,
+//! prints the aggregator's rolling per-campaign table while the fleet is
+//! running, and — when the `/metrics` endpoint is up — self-probes it
+//! with the std TCP client and validates the Prometheus exposition.
+//!
+//! Usage:
+//!   live_report [--quick]
+//!
+//! Environment (see `alperf_bench::obs_from_env`):
+//! * `ALPERF_OBS_TRACE=<path>` — also write the JSONL trace (profiler
+//!   samples included; `validate_trace` checks them);
+//! * `ALPERF_OBS_SAMPLE_HZ=<hz>` — sampler rate (default here: the
+//!   profiler's default rate — live_report always samples);
+//! * `ALPERF_OBS_HTTP=<addr>|1` — serve `/metrics` + `/health`; the run
+//!   fetches both while campaigns are live and fails on bad output.
+//!
+//! Exit codes: 0 ok; 1 a self-probe or exposition validation failed.
+
+use alperf_al::runner::{run_al, AlConfig, PipelineConfig};
+use alperf_al::strategy::VarianceReduction;
+use alperf_bench::banner;
+use alperf_data::partition::Partition;
+use alperf_gp::kernel::SquaredExponential;
+use alperf_gp::noise::NoiseFloor;
+use alperf_gp::optimize::GprConfig;
+use alperf_linalg::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Synthetic 1-D problem: noisy sine with quadratic measurement cost.
+fn dataset(n: usize, seed: u64) -> (Matrix, Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<f64> = (0..n).map(|i| i as f64 * 8.0 / n as f64).collect();
+    let y: Vec<f64> = xs
+        .iter()
+        .map(|v| v.sin() * 2.0 + rng.gen_range(-0.15..0.15))
+        .collect();
+    let cost: Vec<f64> = xs.iter().map(|v| 1.0 + v * v).collect();
+    (Matrix::from_vec(n, 1, xs).unwrap(), y, cost)
+}
+
+fn run_campaign(seed: u64, iters: usize, pipelined: bool) {
+    let (x, y, cost) = dataset(60, seed);
+    let part = Partition::random(60, 2, 0.8, seed);
+    let gpr = GprConfig::new(Box::new(SquaredExponential::unit()))
+        .with_noise_floor(NoiseFloor::Fixed(0.05))
+        .with_restarts(2)
+        .with_seed(seed);
+    let cfg = AlConfig {
+        max_iters: iters,
+        seed,
+        pipeline: if pipelined {
+            PipelineConfig::Speculative
+        } else {
+            PipelineConfig::Off
+        },
+        ..AlConfig::new(gpr)
+    };
+    run_al(&x, &y, &cost, &part, &mut VarianceReduction, &cfg).expect("AL campaign");
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("live_report: FAIL — {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    alperf_bench::threads_from_env();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = if quick { 10 } else { 30 };
+
+    // Env may install the trace sink / sampler / endpoint; the aggregator
+    // and (failing an env-chosen rate) the sampler are always on here —
+    // live telemetry is the whole point of this binary.
+    alperf_bench::obs_from_env();
+    alperf_obs::set_enabled(true);
+    let aggregator = alperf_obs::aggregate::install(alperf_obs::aggregate::DEFAULT_WINDOW_NS);
+    let own_sampler = (std::env::var("ALPERF_OBS_SAMPLE_HZ").map_or(true, |v| v.is_empty()))
+        .then(|| alperf_obs::profiler::start(alperf_obs::profiler::DEFAULT_HZ));
+
+    banner(&format!(
+        "live fleet: 3 campaigns x {iters} iterations (sampler on{})",
+        alperf_bench::obs_http_addr()
+            .map(|a| format!(", /metrics at http://{a}"))
+            .unwrap_or_default()
+    ));
+
+    // The fleet: three campaigns on their own threads (two serial, one
+    // speculative-pipelined) so the aggregator has concurrent streams.
+    let done = Arc::new(AtomicUsize::new(0));
+    let workers: Vec<_> = [(11u64, false), (23, false), (37, true)]
+        .into_iter()
+        .map(|(seed, pipelined)| {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                run_campaign(seed, iters, pipelined);
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    // Poll the live aggregator while the fleet runs; keep the last table
+    // so a fast fleet still prints one.
+    let mut probed = Ok(());
+    let mut probed_live = false;
+    let mut table = String::new();
+    while done.load(Ordering::Relaxed) < workers.len() {
+        std::thread::sleep(Duration::from_millis(150));
+        table = aggregator.render_table();
+        if !probed_live {
+            if let Some(addr) = alperf_bench::obs_http_addr() {
+                probed = probe_endpoint(addr);
+                probed_live = true;
+            }
+        }
+    }
+    for w in workers {
+        w.join().expect("campaign thread");
+    }
+    banner("aggregator snapshot (last live poll)");
+    print!("{table}");
+    banner("aggregator snapshot (final)");
+    print!("{}", aggregator.render_table());
+
+    // Probe after the fleet too (and at all, if the fleet outran the
+    // first poll): the endpoint must stay consistent once idle.
+    if let Some(addr) = alperf_bench::obs_http_addr() {
+        if probed.is_ok() {
+            probed = probe_endpoint(addr);
+        }
+        match &probed {
+            Ok(()) => println!("\n/metrics + /health probes: ok (http://{addr})"),
+            Err(e) => return fail(e),
+        }
+    } else {
+        println!("\n(no ALPERF_OBS_HTTP: endpoint probe skipped)");
+    }
+
+    let sampled = alperf_obs::profiler::samples_folded();
+    println!("profiler: {sampled} stack samples collected");
+    if let Some(sampler) = own_sampler {
+        sampler.stop();
+    }
+    alperf_obs::aggregate::uninstall();
+    alperf_bench::obs_finish();
+    if sampled == 0 {
+        return fail("sampler collected no stacks from a multi-campaign fleet");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Fetch `/metrics` and `/health` over a real TCP connection and validate
+/// the exposition body line by line.
+fn probe_endpoint(addr: std::net::SocketAddr) -> Result<(), String> {
+    let (status, body) =
+        alperf_obs::http::fetch(addr, "/metrics").map_err(|e| format!("/metrics fetch: {e}"))?;
+    if status != 200 {
+        return Err(format!("/metrics returned {status}"));
+    }
+    let series = alperf_obs::registry::validate_exposition(&body)
+        .map_err(|e| format!("/metrics exposition invalid: {e}"))?;
+    if series == 0 {
+        return Err("/metrics exposition has no series".into());
+    }
+    let (status, body) =
+        alperf_obs::http::fetch(addr, "/health").map_err(|e| format!("/health fetch: {e}"))?;
+    if status != 200 || !body.starts_with("ok") {
+        return Err(format!("/health returned {status}: {body:?}"));
+    }
+    Ok(())
+}

@@ -5,12 +5,17 @@
 //!   trace_report <trace.jsonl>                     # self-time table
 //!   trace_report --json <trace.jsonl>              # table as JSON
 //!   trace_report --folded <trace.jsonl>            # folded stacks (stdout)
+//!   trace_report --folded-samples <trace.jsonl>    # folded profiler samples
 //!   trace_report --critical-path <name> <trace.jsonl>
 //!   trace_report --diff <a.jsonl> <b.jsonl> [--json] [--threshold <pct>] [--seed <n>]
 //!
 //! Folded output feeds any flamegraph renderer:
 //!   trace_report --folded trace.jsonl > trace.folded
 //!   inferno-flamegraph < trace.folded > flame.svg   # or flamegraph.pl / speedscope
+//!
+//! `--folded` weights frames by span *self time*; `--folded-samples`
+//! weights by profiler *sample count* (wall-clock incidence, including
+//! blocked time), so the two flamegraphs are directly comparable.
 //!
 //! Exit codes: 0 ok; 1 malformed trace, broken span tree, or (--diff)
 //! significant regressions found; 2 usage; 3 unreadable input; 4 empty
@@ -19,7 +24,8 @@
 use alperf_obs::json;
 use alperf_trace::{
     aggregate, child_coverage, critical_path, diff_traces, folded_stacks, read_path,
-    render_diff_json, render_diff_table, significant_regressions, DiffConfig, SpanForest, Trace,
+    render_diff_json, render_diff_table, sampled_stacks, significant_regressions, DiffConfig,
+    SpanForest, Trace,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -28,6 +34,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: trace_report [--json] <trace.jsonl>\n\
          \x20      trace_report --folded <trace.jsonl>\n\
+         \x20      trace_report --folded-samples <trace.jsonl>\n\
          \x20      trace_report --critical-path <name> <trace.jsonl>\n\
          \x20      trace_report --diff <a.jsonl> <b.jsonl> [--json] [--threshold <pct>] [--seed <n>]"
     );
@@ -95,10 +102,11 @@ fn report_table(trace: &Trace, forest: &SpanForest, as_json: bool) {
         );
     }
     println!(
-        "\n{} spans in {} trees, {} records",
+        "\n{} spans in {} trees, {} records, {} profiler samples",
         forest.len(),
         forest.roots.len(),
-        trace.records.len()
+        trace.records.len(),
+        trace.samples.len()
     );
     if let Some(cov) = child_coverage(forest, "al.iteration") {
         println!(
@@ -173,6 +181,24 @@ fn main() -> ExitCode {
                 Err(c) => return c,
             };
             print!("{}", folded_stacks(&forest));
+            ExitCode::SUCCESS
+        }
+        Some("--folded-samples") => {
+            let [_, path] = args.as_slice() else {
+                return usage();
+            };
+            let trace = match load(path) {
+                Ok(t) => t,
+                Err(c) => return c,
+            };
+            if trace.samples.is_empty() {
+                eprintln!(
+                    "trace_report: {path} has no profiler samples \
+                     (run with ALPERF_OBS_SAMPLE_HZ or the live_report sampler)"
+                );
+                return ExitCode::FAILURE;
+            }
+            print!("{}", sampled_stacks(&trace.samples));
             ExitCode::SUCCESS
         }
         Some("--critical-path") => {

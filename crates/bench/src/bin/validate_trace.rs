@@ -12,7 +12,9 @@
 //!   declares a parent resolves to it, including spans emitted on rayon
 //!   worker threads (the cross-thread parentage invariant);
 //! * `al.iteration` records carry the per-iteration payload and a
-//!   strictly increasing `iter` per `run` id.
+//!   strictly increasing `iter` per `run` id;
+//! * profiler stack samples (when present) have non-empty stacks and
+//!   monotone timestamps per sampled thread.
 //!
 //! Exit codes: 0 valid; 1 malformed content or violated invariant;
 //! 2 usage; 3 unreadable input; 4 empty trace; 5 unknown schema.
@@ -52,6 +54,28 @@ fn check_iterations(trace: &Trace) -> Result<usize, String> {
     Ok(iterations)
 }
 
+fn check_samples(trace: &Trace) -> Result<usize, String> {
+    // tid -> last sample timestamp: the sampler sweeps each thread's
+    // mirror with a monotonic clock, so per-thread capture times may tie
+    // but never go backwards.
+    let mut last_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in &trace.samples {
+        if s.stack.is_empty() {
+            return Err("profiler sample with an empty stack".into());
+        }
+        if let Some(&prev) = last_ns.get(&s.tid) {
+            if s.t_ns < prev {
+                return Err(format!(
+                    "thread {} sample timestamps not monotone ({prev} then {})",
+                    s.tid, s.t_ns
+                ));
+            }
+        }
+        last_ns.insert(s.tid, s.t_ns);
+    }
+    Ok(trace.samples.len())
+}
+
 fn main() -> ExitCode {
     let Some(path) = std::env::args().nth(1) else {
         eprintln!("usage: validate_trace <trace.jsonl>");
@@ -71,11 +95,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match check_iterations(&trace) {
-        Ok(iterations) => {
+    match check_iterations(&trace).and_then(|iters| Ok((iters, check_samples(&trace)?))) {
+        Ok((iterations, samples)) => {
             println!(
                 "{path}: OK — {} spans in {} connected trees, {} records \
-                 ({iterations} al.iteration) under schema {}",
+                 ({iterations} al.iteration), {samples} profiler samples \
+                 under schema {}",
                 forest.len(),
                 forest.roots.len(),
                 trace.records.len(),

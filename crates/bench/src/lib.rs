@@ -95,6 +95,14 @@ pub fn banner(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Background telemetry services started by [`obs_from_env`], shut down
+/// by [`obs_finish`]. Process-wide because the env-driven telemetry
+/// switch is process-wide.
+static OBS_SERVICES: std::sync::Mutex<(
+    Option<alperf_obs::profiler::SamplerHandle>,
+    Option<alperf_obs::HttpServer>,
+)> = std::sync::Mutex::new((None, None));
+
 /// Enable telemetry from the environment, if requested.
 ///
 /// * `ALPERF_OBS_TRACE=<path>` — install a JSONL trace sink at `<path>`
@@ -102,17 +110,23 @@ pub fn banner(title: &str) {
 /// * `ALPERF_OBS_SNAPSHOT=<path>` — write a Prometheus-style metrics
 ///   snapshot to `<path>` at [`obs_finish`]; also switches
 ///   instrumentation on.
+/// * `ALPERF_OBS_SAMPLE_HZ=<hz>` — start the cooperative stack-sampling
+///   profiler at `<hz>`; samples land in the trace sink when one is
+///   installed. Also switches instrumentation on.
+/// * `ALPERF_OBS_HTTP=<addr>|1` — serve `/metrics` and `/health` over
+///   HTTP (`1` binds an ephemeral localhost port). Also switches
+///   instrumentation on.
 ///
 /// Returns `true` when telemetry was enabled. Call [`obs_finish`] before
-/// exiting so the trace is flushed and the snapshot written.
+/// exiting so the sampler stops, the trace is flushed, the snapshot is
+/// written, and the HTTP server shuts down.
 pub fn obs_from_env() -> bool {
-    let trace = std::env::var("ALPERF_OBS_TRACE")
-        .ok()
-        .filter(|p| !p.is_empty());
-    let snapshot = std::env::var("ALPERF_OBS_SNAPSHOT")
-        .ok()
-        .filter(|p| !p.is_empty());
-    if trace.is_none() && snapshot.is_none() {
+    let env_path = |key: &str| std::env::var(key).ok().filter(|p| !p.is_empty());
+    let trace = env_path("ALPERF_OBS_TRACE");
+    let snapshot = env_path("ALPERF_OBS_SNAPSHOT");
+    let sample_hz = env_path("ALPERF_OBS_SAMPLE_HZ");
+    let http = env_path(alperf_obs::http::ENV_HTTP).filter(|v| v != "0");
+    if trace.is_none() && snapshot.is_none() && sample_hz.is_none() && http.is_none() {
         return false;
     }
     if let Some(path) = trace {
@@ -124,7 +138,31 @@ pub fn obs_from_env() -> bool {
         eprintln!("(telemetry: JSONL trace -> {path})");
     }
     alperf_obs::set_enabled(true);
+    let mut services = OBS_SERVICES.lock().unwrap();
+    if let Some(hz) = sample_hz {
+        let hz: f64 = hz
+            .parse()
+            .unwrap_or_else(|_| panic!("ALPERF_OBS_SAMPLE_HZ={hz:?} is not a number"));
+        services.0 = Some(alperf_obs::profiler::start(hz));
+        eprintln!("(telemetry: stack sampler at {hz} Hz)");
+    }
+    if let Some(result) = alperf_obs::http::serve_from_env() {
+        let server = result.expect("bind telemetry HTTP endpoint");
+        eprintln!("(telemetry: /metrics at http://{})", server.local_addr());
+        services.1 = Some(server);
+    }
     true
+}
+
+/// Address of the `/metrics` HTTP server started by [`obs_from_env`], if
+/// one is running (lets a binary self-probe its own endpoint).
+pub fn obs_http_addr() -> Option<std::net::SocketAddr> {
+    OBS_SERVICES
+        .lock()
+        .unwrap()
+        .1
+        .as_ref()
+        .map(|s| s.local_addr())
 }
 
 /// Configure the global rayon pool from `ALPERF_NUM_THREADS`, once per
@@ -138,10 +176,22 @@ pub fn threads_from_env() -> (usize, &'static str) {
 }
 
 /// Flush the telemetry trace and write the Prometheus snapshot, if
-/// `ALPERF_OBS_SNAPSHOT` names a path. No-op when telemetry is off.
+/// `ALPERF_OBS_SNAPSHOT` names a path. Stops the stack sampler and the
+/// `/metrics` server when [`obs_from_env`] started them. No-op when
+/// telemetry is off.
 pub fn obs_finish() {
     if !alperf_obs::enabled() {
         return;
+    }
+    {
+        // Stop the sampler before flushing so its last samples land in
+        // the trace; the HTTP server goes last so /metrics stays live
+        // until the final snapshot is on disk.
+        let mut services = OBS_SERVICES.lock().unwrap();
+        if let Some(sampler) = services.0.take() {
+            sampler.stop();
+        }
+        services.1.take(); // drop shuts the server down
     }
     alperf_obs::sink::flush();
     if let Ok(path) = std::env::var("ALPERF_OBS_SNAPSHOT") {

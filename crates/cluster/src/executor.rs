@@ -135,6 +135,13 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Child counter for the `{fault_kind}`-labeled injected-fault family.
+/// Faults are rare events, so the per-fault family lookup (a read-lock +
+/// map probe) is fine here — no handle caching needed.
+fn fault_kind_counter(kind: &str) -> std::sync::Arc<alperf_obs::Counter> {
+    alperf_obs::counter_vec(names::CLUSTER_FAULTS_BY_KIND, &[names::LABEL_FAULT_KIND]).with(&[kind])
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -267,6 +274,7 @@ fn measure_job(
                     if alperf_obs::enabled() {
                         let _s = alperf_obs::span_with_parent(names::CLUSTER_RETRY, batch_ctx);
                         alperf_obs::inc(names::CLUSTER_RETRY);
+                        fault_kind_counter(f.kind.name()).inc();
                         alperf_obs::record(
                             names::CLUSTER_RETRY,
                             &[
@@ -294,6 +302,9 @@ fn measure_job(
                     Ok(mut measurement) => {
                         if let Some(f) = other {
                             apply_trace_fault(f.kind, &mut measurement.trace, job_seed);
+                            if alperf_obs::enabled() {
+                                fault_kind_counter(f.kind.name()).inc();
+                            }
                             match f.kind {
                                 crate::fault::FaultKind::PowerTraceDropout => {
                                     alperf_obs::inc(names::CLUSTER_POWER_DROPOUT)
@@ -341,6 +352,7 @@ fn emit_failed(
     }
     let _s = alperf_obs::span_with_parent(names::CLUSTER_FAILED, batch_ctx);
     alperf_obs::inc(names::CLUSTER_FAILED);
+    fault_kind_counter(fault.kind.name()).inc();
     alperf_obs::record(
         names::CLUSTER_FAILED,
         &[

@@ -1,0 +1,528 @@
+//! Streaming in-process aggregation of telemetry records.
+//!
+//! The JSONL sink is post-hoc: you learn what a campaign did after it
+//! finished. This module is the *live* view — an [`Aggregator`] observes
+//! the same record stream ([`crate::record`] forwards every record when
+//! an aggregator is installed) and maintains rolling windows per
+//! campaign: iteration rate, RMSE/σ trend over the window, pool-cache
+//! warmth, degraded-iteration counts, plus a process-wide retry-pressure
+//! window fed by the cluster executor's retry records. Snapshots render
+//! as a text table (the `live_report` bin redraws it periodically) and
+//! all state is bounded: windows evict by age, campaigns by count.
+//!
+//! Observation never feeds back into the workload (same determinism
+//! contract as the rest of the crate) and costs one relaxed atomic load
+//! per record when no aggregator is installed.
+
+use crate::clock::monotonic_ns;
+use crate::names;
+use crate::sink::Value;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Default rolling-window width: 10 s.
+pub const DEFAULT_WINDOW_NS: u64 = 10_000_000_000;
+
+/// Campaigns tracked at once; beyond this the oldest-idle is evicted.
+const MAX_CAMPAIGNS: usize = 256;
+
+/// One per-iteration observation inside a campaign's rolling window.
+struct IterPoint {
+    t_ns: u64,
+    rmse: f64,
+    sigma: f64,
+    cache_warm: bool,
+}
+
+struct Campaign {
+    strategy: String,
+    tier: String,
+    window: VecDeque<IterPoint>,
+    iters: u64,
+    degraded: u64,
+    last_ns: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    campaigns: BTreeMap<u64, Campaign>,
+    retries: VecDeque<u64>,
+}
+
+/// Live rolling-window statistics for one campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignStats {
+    /// Run id (the `run` field of the campaign's records).
+    pub run: u64,
+    /// Strategy name from `al.run_start`.
+    pub strategy: String,
+    /// Most recent fit tier.
+    pub tier: String,
+    /// Total iterations observed.
+    pub iters: u64,
+    /// Total degraded (fault-lost) iterations observed.
+    pub degraded: u64,
+    /// Iterations currently inside the rolling window.
+    pub window_len: usize,
+    /// Iteration completion rate over the window, Hz.
+    pub iter_rate_hz: f64,
+    /// Latest RMSE.
+    pub rmse_last: f64,
+    /// RMSE change across the window (negative = improving).
+    pub rmse_trend: f64,
+    /// Latest max-σ (the paper's uncertainty signal).
+    pub sigma_last: f64,
+    /// σ change across the window.
+    pub sigma_trend: f64,
+    /// Fraction of windowed iterations served by a warm pool cache.
+    pub cache_warm_pct: f64,
+    /// Nanoseconds since this campaign's last record.
+    pub idle_ns: u64,
+}
+
+/// One aggregator snapshot: per-campaign stats plus retry pressure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateSnapshot {
+    /// Per-campaign rolling stats, run-id-sorted.
+    pub campaigns: Vec<CampaignStats>,
+    /// Cluster retries per second over the window.
+    pub retry_per_s: f64,
+    /// Retries currently inside the window.
+    pub retries_window: usize,
+}
+
+/// A streaming aggregator over the telemetry record stream.
+pub struct Aggregator {
+    window_ns: u64,
+    inner: Mutex<Inner>,
+}
+
+impl Aggregator {
+    /// An aggregator with rolling windows of `window_ns` nanoseconds.
+    pub fn new(window_ns: u64) -> Self {
+        Aggregator {
+            window_ns: window_ns.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Observe one record at the current monotonic time.
+    pub fn observe(&self, name: &str, fields: &[(&str, Value<'_>)]) {
+        self.observe_at(monotonic_ns(), name, fields);
+    }
+
+    /// Observe one record at an explicit time — the deterministic entry
+    /// point tests drive with fabricated timestamps.
+    pub fn observe_at(&self, now_ns: u64, name: &str, fields: &[(&str, Value<'_>)]) {
+        match name {
+            "al.run_start" => {
+                let Some(run) = field_u64(fields, "run") else {
+                    return;
+                };
+                let strategy = field_str(fields, "strategy").unwrap_or("?").to_string();
+                let mut inner = self.inner.lock();
+                if inner.campaigns.len() >= MAX_CAMPAIGNS {
+                    // Evict the longest-idle campaign to stay bounded.
+                    if let Some(oldest) = inner
+                        .campaigns
+                        .iter()
+                        .min_by_key(|(_, c)| c.last_ns)
+                        .map(|(run, _)| *run)
+                    {
+                        inner.campaigns.remove(&oldest);
+                    }
+                }
+                inner.campaigns.insert(
+                    run,
+                    Campaign {
+                        strategy,
+                        tier: "?".to_string(),
+                        window: VecDeque::new(),
+                        iters: 0,
+                        degraded: 0,
+                        last_ns: now_ns,
+                    },
+                );
+            }
+            names::AL_ITERATION => {
+                let Some(run) = field_u64(fields, "run") else {
+                    return;
+                };
+                let window_ns = self.window_ns;
+                let mut inner = self.inner.lock();
+                let Some(c) = inner.campaigns.get_mut(&run) else {
+                    return;
+                };
+                c.iters += 1;
+                c.last_ns = now_ns;
+                if let Some(tier) = field_str(fields, "tier") {
+                    c.tier = tier.to_string();
+                }
+                c.window.push_back(IterPoint {
+                    t_ns: now_ns,
+                    rmse: field_f64(fields, "rmse").unwrap_or(f64::NAN),
+                    sigma: field_f64(fields, "sigma").unwrap_or(f64::NAN),
+                    cache_warm: field_bool(fields, "cache_warm").unwrap_or(false),
+                });
+                while let Some(front) = c.window.front() {
+                    if now_ns.saturating_sub(front.t_ns) > window_ns {
+                        c.window.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            names::AL_DEGRADED_ITERATION => {
+                let Some(run) = field_u64(fields, "run") else {
+                    return;
+                };
+                let mut inner = self.inner.lock();
+                if let Some(c) = inner.campaigns.get_mut(&run) {
+                    c.degraded += 1;
+                    c.last_ns = now_ns;
+                }
+            }
+            names::CLUSTER_RETRY => {
+                let window_ns = self.window_ns;
+                let mut inner = self.inner.lock();
+                inner.retries.push_back(now_ns);
+                while let Some(&front) = inner.retries.front() {
+                    if now_ns.saturating_sub(front) > window_ns {
+                        inner.retries.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// A snapshot at the current monotonic time.
+    pub fn snapshot(&self) -> AggregateSnapshot {
+        self.snapshot_at(monotonic_ns())
+    }
+
+    /// A snapshot at an explicit time (deterministic for tests).
+    pub fn snapshot_at(&self, now_ns: u64) -> AggregateSnapshot {
+        let inner = self.inner.lock();
+        let campaigns = inner
+            .campaigns
+            .iter()
+            .map(|(&run, c)| {
+                let in_window: Vec<&IterPoint> = c
+                    .window
+                    .iter()
+                    .filter(|p| now_ns.saturating_sub(p.t_ns) <= self.window_ns)
+                    .collect();
+                let (rate, rmse_trend, sigma_trend) = match (in_window.first(), in_window.last()) {
+                    (Some(first), Some(last)) if in_window.len() >= 2 => {
+                        let dt = last.t_ns.saturating_sub(first.t_ns);
+                        let rate = if dt > 0 {
+                            (in_window.len() - 1) as f64 * 1e9 / dt as f64
+                        } else {
+                            0.0
+                        };
+                        (rate, last.rmse - first.rmse, last.sigma - first.sigma)
+                    }
+                    _ => (0.0, 0.0, 0.0),
+                };
+                let warm = in_window.iter().filter(|p| p.cache_warm).count();
+                CampaignStats {
+                    run,
+                    strategy: c.strategy.clone(),
+                    tier: c.tier.clone(),
+                    iters: c.iters,
+                    degraded: c.degraded,
+                    window_len: in_window.len(),
+                    iter_rate_hz: rate,
+                    rmse_last: in_window.last().map(|p| p.rmse).unwrap_or(f64::NAN),
+                    rmse_trend,
+                    sigma_last: in_window.last().map(|p| p.sigma).unwrap_or(f64::NAN),
+                    sigma_trend,
+                    cache_warm_pct: if in_window.is_empty() {
+                        0.0
+                    } else {
+                        100.0 * warm as f64 / in_window.len() as f64
+                    },
+                    idle_ns: now_ns.saturating_sub(c.last_ns),
+                }
+            })
+            .collect();
+        let retries_window = inner
+            .retries
+            .iter()
+            .filter(|&&t| now_ns.saturating_sub(t) <= self.window_ns)
+            .count();
+        AggregateSnapshot {
+            campaigns,
+            retry_per_s: retries_window as f64 * 1e9 / self.window_ns as f64,
+            retries_window,
+        }
+    }
+
+    /// Render the live table shown by `live_report`.
+    pub fn render_table(&self) -> String {
+        render_snapshot(&self.snapshot())
+    }
+}
+
+/// Render a snapshot as the fixed-width live table.
+pub fn render_snapshot(snap: &AggregateSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>4} {:<20} {:<8} {:>6} {:>5} {:>7} {:>10} {:>9} {:>10} {:>9} {:>6}\n",
+        "run",
+        "strategy",
+        "tier",
+        "iters",
+        "degr",
+        "it/s",
+        "rmse",
+        "drmse",
+        "sigma",
+        "dsigma",
+        "warm%"
+    ));
+    for c in &snap.campaigns {
+        out.push_str(&format!(
+            "{:>4} {:<20} {:<8} {:>6} {:>5} {:>7.2} {:>10.4} {:>+9.4} {:>10.4} {:>+9.4} {:>5.0}%\n",
+            c.run,
+            c.strategy,
+            c.tier,
+            c.iters,
+            c.degraded,
+            c.iter_rate_hz,
+            c.rmse_last,
+            c.rmse_trend,
+            c.sigma_last,
+            c.sigma_trend,
+            c.cache_warm_pct,
+        ));
+    }
+    out.push_str(&format!(
+        "retry pressure: {:.2}/s ({} in window)\n",
+        snap.retry_per_s, snap.retries_window
+    ));
+    out
+}
+
+fn field_u64(fields: &[(&str, Value<'_>)], key: &str) -> Option<u64> {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            Value::U64(x) => Some(*x),
+            Value::I64(x) => u64::try_from(*x).ok(),
+            Value::F64(x) => Some(*x as u64),
+            _ => None,
+        })
+}
+
+fn field_f64(fields: &[(&str, Value<'_>)], key: &str) -> Option<f64> {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            Value::F64(x) => Some(*x),
+            Value::U64(x) => Some(*x as f64),
+            Value::I64(x) => Some(*x as f64),
+            _ => None,
+        })
+}
+
+fn field_str<'a>(fields: &'a [(&str, Value<'a>)], key: &str) -> Option<&'a str> {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            Value::Str(s) => Some(*s),
+            _ => None,
+        })
+}
+
+fn field_bool(fields: &[(&str, Value<'_>)], key: &str) -> Option<bool> {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        })
+}
+
+// ---- global installation (the record-path observer) ----
+
+static AGGREGATOR: Mutex<Option<Arc<Aggregator>>> = Mutex::new(None);
+static AGG_PRESENT: AtomicBool = AtomicBool::new(false);
+
+/// Install a process-global aggregator observing every
+/// [`crate::record`]; returns the handle for snapshots. Replaces any
+/// previous aggregator.
+pub fn install(window_ns: u64) -> Arc<Aggregator> {
+    let agg = Arc::new(Aggregator::new(window_ns));
+    *AGGREGATOR.lock() = Some(Arc::clone(&agg));
+    AGG_PRESENT.store(true, Ordering::Relaxed);
+    agg
+}
+
+/// Remove the global aggregator.
+pub fn uninstall() {
+    AGG_PRESENT.store(false, Ordering::Relaxed);
+    AGGREGATOR.lock().take();
+}
+
+/// Is a global aggregator installed?
+pub fn active() -> bool {
+    AGG_PRESENT.load(Ordering::Relaxed)
+}
+
+/// Forward a record to the global aggregator, if one is installed.
+/// Called from [`crate::record`]; costs one relaxed load when inactive.
+#[inline]
+pub(crate) fn observe_global(name: &str, fields: &[(&str, Value<'_>)]) {
+    if !active() {
+        return;
+    }
+    let agg = AGGREGATOR.lock().as_ref().map(Arc::clone);
+    if let Some(agg) = agg {
+        agg.observe(name, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u64 = 1_000_000_000;
+
+    fn iteration(
+        run: u64,
+        iter: u64,
+        rmse: f64,
+        sigma: f64,
+        warm: bool,
+    ) -> Vec<(&'static str, Value<'static>)> {
+        vec![
+            ("run", Value::U64(run)),
+            ("iter", Value::U64(iter)),
+            ("tier", Value::Str("exact")),
+            ("rmse", Value::F64(rmse)),
+            ("sigma", Value::F64(sigma)),
+            ("cache_warm", Value::Bool(warm)),
+        ]
+    }
+
+    #[test]
+    fn rolling_window_tracks_rate_and_trend() {
+        let agg = Aggregator::new(10 * S);
+        agg.observe_at(
+            0,
+            "al.run_start",
+            &[
+                ("run", Value::U64(1)),
+                ("strategy", Value::Str("variance_reduction")),
+            ],
+        );
+        for i in 0..5u64 {
+            agg.observe_at(
+                (i + 1) * S,
+                names::AL_ITERATION,
+                &iteration(1, i, 1.0 - 0.1 * i as f64, 0.5 - 0.05 * i as f64, i > 0),
+            );
+        }
+        let snap = agg.snapshot_at(5 * S);
+        assert_eq!(snap.campaigns.len(), 1);
+        let c = &snap.campaigns[0];
+        assert_eq!(c.run, 1);
+        assert_eq!(c.strategy, "variance_reduction");
+        assert_eq!(c.tier, "exact");
+        assert_eq!(c.iters, 5);
+        assert_eq!(c.window_len, 5);
+        // 4 intervals over 4 seconds -> 1 it/s.
+        assert!((c.iter_rate_hz - 1.0).abs() < 1e-9);
+        assert!((c.rmse_last - 0.6).abs() < 1e-9);
+        assert!(
+            (c.rmse_trend - (0.6 - 1.0)).abs() < 1e-9,
+            "rmse falling over window"
+        );
+        assert!((c.sigma_trend + 0.2).abs() < 1e-9);
+        assert!((c.cache_warm_pct - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn old_points_age_out_of_the_window() {
+        let agg = Aggregator::new(3 * S);
+        agg.observe_at(
+            0,
+            "al.run_start",
+            &[("run", Value::U64(2)), ("strategy", Value::Str("s"))],
+        );
+        agg.observe_at(S, names::AL_ITERATION, &iteration(2, 0, 1.0, 0.5, false));
+        agg.observe_at(
+            10 * S,
+            names::AL_ITERATION,
+            &iteration(2, 1, 0.9, 0.4, true),
+        );
+        let snap = agg.snapshot_at(10 * S);
+        let c = &snap.campaigns[0];
+        assert_eq!(c.iters, 2, "lifetime count keeps everything");
+        assert_eq!(c.window_len, 1, "window holds only the fresh point");
+        assert_eq!(c.iter_rate_hz, 0.0, "one point has no rate");
+    }
+
+    #[test]
+    fn degraded_and_retry_pressure_accumulate() {
+        let agg = Aggregator::new(10 * S);
+        agg.observe_at(
+            0,
+            "al.run_start",
+            &[("run", Value::U64(3)), ("strategy", Value::Str("s"))],
+        );
+        agg.observe_at(S, names::AL_DEGRADED_ITERATION, &[("run", Value::U64(3))]);
+        for i in 0..5 {
+            agg.observe_at(2 * S + i, names::CLUSTER_RETRY, &[]);
+        }
+        let snap = agg.snapshot_at(2 * S + 10);
+        assert_eq!(snap.campaigns[0].degraded, 1);
+        assert_eq!(snap.retries_window, 5);
+        assert!((snap.retry_per_s - 0.5).abs() < 1e-9);
+        // Retries age out too.
+        let later = agg.snapshot_at(13 * S);
+        assert_eq!(later.retries_window, 0);
+    }
+
+    #[test]
+    fn unknown_records_and_runs_are_ignored() {
+        let agg = Aggregator::new(S);
+        agg.observe_at(0, "gp.tier.gate", &[("run", Value::U64(1))]);
+        agg.observe_at(0, names::AL_ITERATION, &iteration(99, 0, 1.0, 1.0, false));
+        assert!(agg.snapshot_at(0).campaigns.is_empty());
+    }
+
+    #[test]
+    fn table_renders_every_campaign() {
+        let agg = Aggregator::new(10 * S);
+        for run in [1u64, 2] {
+            agg.observe_at(
+                0,
+                "al.run_start",
+                &[
+                    ("run", Value::U64(run)),
+                    ("strategy", Value::Str("cost_effective")),
+                ],
+            );
+            agg.observe_at(S, names::AL_ITERATION, &iteration(run, 0, 0.8, 0.3, true));
+        }
+        let table = render_snapshot(&agg.snapshot_at(S));
+        assert!(table.contains("cost_effective"));
+        assert!(table.contains("retry pressure"));
+        assert_eq!(
+            table.lines().count(),
+            4,
+            "header + 2 campaigns + retry line"
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Minimal HTTP endpoint for live scraping: `/metrics` + `/health`.
+//!
+//! A std-`TcpListener` server — no framework, no async runtime — serving
+//! exactly what a Prometheus scraper (or a `curl` in CI) needs:
+//!
+//! * `GET /metrics` — the registry's text exposition
+//!   ([`crate::registry::Registry::prometheus_snapshot`]), rendered fresh
+//!   per request (`text/plain; version=0.0.4`).
+//! * `GET /health` — `ok` with the process's watched/flagged watchdog
+//!   counts, `200` while the process serves.
+//! * anything else — `404`.
+//!
+//! The accept loop runs on one background thread in non-blocking mode
+//! with a short poll sleep, so shutdown needs no self-connect trick and
+//! a wedged client cannot hold the loop (per-connection read timeout).
+//! The server is opt-in via the `ALPERF_OBS_HTTP` environment variable
+//! (see [`serve_from_env`]); nothing listens unless asked.
+//!
+//! [`fetch`] is the matching std-`TcpStream` one-shot client used by
+//! `live_report` and the CI smoke to scrape the endpoint without adding
+//! an HTTP dependency.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Environment variable gating the endpoint: unset/empty/`0` = off,
+/// `1` = `127.0.0.1:0` (ephemeral port), anything else = bind address.
+pub const ENV_HTTP: &str = "ALPERF_OBS_HTTP";
+
+/// A running metrics endpoint. Dropping (or [`HttpServer::shutdown`])
+/// stops the accept loop and joins the thread.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// The bound address (resolves the port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:0`) and serve `/metrics` + `/health` on a
+/// background thread until shutdown.
+pub fn serve(addr: &str) -> std::io::Result<HttpServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name("alperf-obs-http".into())
+        .spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => handle_connection(stream),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        })?;
+    Ok(HttpServer {
+        addr,
+        stop,
+        join: Some(join),
+    })
+}
+
+/// Start the endpoint if [`ENV_HTTP`] asks for one. Returns `None` when
+/// the variable is unset/off, `Some(Err)` when a bind was requested but
+/// failed — callers decide whether that is fatal.
+pub fn serve_from_env() -> Option<std::io::Result<HttpServer>> {
+    let value = std::env::var(ENV_HTTP).ok()?;
+    let value = value.trim();
+    if value.is_empty() || value == "0" {
+        return None;
+    }
+    let addr = if value == "1" { "127.0.0.1:0" } else { value };
+    Some(serve(addr))
+}
+
+fn handle_connection(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    // Read until the end of the request head (or timeout). Only the
+    // request line matters; bodies are not supported.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 256];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = route(method, path);
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.flush();
+}
+
+/// Dispatch one request to its response. Pure, so unit tests cover the
+/// routing table without sockets.
+fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".into(),
+        );
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            crate::registry::global().prometheus_snapshot(),
+        ),
+        "/health" => {
+            let wd = crate::watchdog::global();
+            (
+                "200 OK",
+                "text/plain",
+                format!(
+                    "ok\nwatched {}\nstalled {}\n",
+                    wd.watched(),
+                    wd.flagged().len()
+                ),
+            )
+        }
+        _ => ("404 Not Found", "text/plain", "not found\n".into()),
+    }
+}
+
+/// One-shot HTTP GET against `addr` with a std `TcpStream`: returns
+/// `(status code, body)`. This is the scrape client the CI smoke uses.
+pub fn fetch(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    let body = match response.find("\r\n\r\n") {
+        Some(i) => response[i + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_cover_metrics_health_and_404() {
+        let (status, ct, _) = route("GET", "/metrics");
+        assert_eq!(status, "200 OK");
+        assert!(ct.starts_with("text/plain; version=0.0.4"));
+        let (status, _, body) = route("GET", "/health");
+        assert_eq!(status, "200 OK");
+        assert!(body.starts_with("ok\n"));
+        assert_eq!(route("GET", "/nope").0, "404 Not Found");
+        assert_eq!(route("POST", "/metrics").0, "405 Method Not Allowed");
+    }
+
+    #[test]
+    fn serves_metrics_over_a_real_socket() {
+        let _l = crate::tests::TEST_LOCK.lock();
+        crate::set_enabled(true);
+        crate::inc("test.http.hits");
+        crate::set_enabled(false);
+        let server = serve("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let (status, body) = fetch(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("alperf_test_http_hits_total"));
+        crate::registry::validate_exposition(&body).unwrap();
+        let (status, body) = fetch(addr, "/health").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.starts_with("ok"));
+        let (status, _) = fetch(addr, "/missing").unwrap();
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn env_gate_off_means_no_server() {
+        // Unset or "0" must not bind anything.
+        std::env::remove_var(ENV_HTTP);
+        assert!(serve_from_env().is_none());
+    }
+}

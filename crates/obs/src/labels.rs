@@ -1,0 +1,435 @@
+//! Labeled metric families: [`CounterVec`] and [`HistogramVec`].
+//!
+//! A *family* is one metric name plus a fixed, small set of label keys
+//! (`campaign`, `strategy`, `tier`, `fault_kind`, …); each distinct label
+//! *value* tuple gets its own child [`Counter`]/[`Histogram`]. The design
+//! constraints mirror the rest of the crate:
+//!
+//! * **Lock-free on the hot path.** `with()` resolves a child once (read
+//!   lock + map lookup) and hands back an `Arc` handle; call sites cache
+//!   the handle for the duration of a campaign, so the per-event cost is
+//!   the child's own relaxed atomic — identical to an unlabeled metric.
+//! * **Hard cardinality cap.** A family never holds more than
+//!   [`CounterVec::cap`] live series. Once the cap is reached, every new
+//!   label tuple resolves to the family's dedicated *overflow* series
+//!   (label values [`OVERFLOW_VALUE`]), so hostile or unbounded label
+//!   values (tenant ids, error strings) cannot blow up memory — they can
+//!   only make the overflow series large.
+//! * **Deterministic serialization.** Children live in a `BTreeMap` keyed
+//!   by the label-value tuple, so snapshots enumerate label sets in
+//!   sorted order regardless of insertion order or thread interleaving.
+//!
+//! Label *keys* are `&'static str` (they are part of the schema); label
+//! *values* are arbitrary strings and are escaped by the Prometheus
+//! renderer ([`crate::registry::Registry::prometheus_snapshot`]).
+
+use crate::metrics::{Counter, HistStats, Histogram};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Maximum number of label keys a family may declare.
+pub const MAX_LABELS: usize = 4;
+
+/// Default hard cap on live series per family (overflow series excluded).
+pub const DEFAULT_MAX_SERIES: usize = 64;
+
+/// Label value reported for the overflow series (and for events whose
+/// label tuple had the wrong arity).
+pub const OVERFLOW_VALUE: &str = "_overflow";
+
+/// A family of [`Counter`]s keyed by a small label-value tuple.
+pub struct CounterVec {
+    name: String,
+    keys: Vec<&'static str>,
+    cap: usize,
+    children: RwLock<BTreeMap<Vec<String>, Arc<Counter>>>,
+    overflow: Arc<Counter>,
+}
+
+impl CounterVec {
+    /// A new family named `name` over label keys `keys` with the
+    /// [`DEFAULT_MAX_SERIES`] cardinality cap.
+    pub fn new(name: &str, keys: &[&'static str]) -> Self {
+        CounterVec::with_cap(name, keys, DEFAULT_MAX_SERIES)
+    }
+
+    /// A new family with an explicit cardinality cap (`cap >= 1`).
+    ///
+    /// # Panics
+    /// Panics when more than [`MAX_LABELS`] keys are declared — label
+    /// arity is part of the instrumentation schema, not runtime input.
+    pub fn with_cap(name: &str, keys: &[&'static str], cap: usize) -> Self {
+        assert!(
+            keys.len() <= MAX_LABELS,
+            "metric family {name:?}: at most {MAX_LABELS} label keys"
+        );
+        CounterVec {
+            name: name.to_string(),
+            keys: keys.to_vec(),
+            cap: cap.max(1),
+            children: RwLock::new(BTreeMap::new()),
+            overflow: Arc::new(Counter::new()),
+        }
+    }
+
+    /// Family name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared label keys, in declaration order.
+    pub fn keys(&self) -> &[&'static str] {
+        &self.keys
+    }
+
+    /// The cardinality cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The overflow child: every label tuple beyond the cap (or with the
+    /// wrong arity) lands here.
+    pub fn overflow(&self) -> Arc<Counter> {
+        Arc::clone(&self.overflow)
+    }
+
+    /// Number of live (non-overflow) series.
+    pub fn series_count(&self) -> usize {
+        self.children.read().len()
+    }
+
+    /// Get-or-create the child for `values` (one value per declared key).
+    /// Hot paths should call this once and cache the returned handle.
+    /// A wrong-arity tuple or a tuple beyond the cardinality cap resolves
+    /// to the overflow series instead of allocating.
+    pub fn with(&self, values: &[&str]) -> Arc<Counter> {
+        if values.len() != self.keys.len() {
+            return Arc::clone(&self.overflow);
+        }
+        {
+            let children = self.children.read();
+            if let Some(c) = lookup(&children, values) {
+                return Arc::clone(c);
+            }
+            if children.len() >= self.cap {
+                return Arc::clone(&self.overflow);
+            }
+        }
+        let mut children = self.children.write();
+        // Re-check under the write lock: another thread may have filled
+        // the cap (or created this tuple) between the two locks.
+        if let Some(c) = lookup(&children, values) {
+            return Arc::clone(c);
+        }
+        if children.len() >= self.cap {
+            return Arc::clone(&self.overflow);
+        }
+        let key: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        Arc::clone(
+            children
+                .entry(key)
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// All series as `(label values, value)`, sorted by label values; the
+    /// overflow series (values [`OVERFLOW_VALUE`]) is included when it
+    /// ever received an event.
+    pub fn snapshot(&self) -> Vec<(Vec<String>, u64)> {
+        let mut out: Vec<(Vec<String>, u64)> = self
+            .children
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        if self.overflow.get() > 0 {
+            let key = vec![OVERFLOW_VALUE.to_string(); self.keys.len()];
+            let at = out.partition_point(|(k, _)| *k < key);
+            out.insert(at, (key, self.overflow.get()));
+        }
+        out
+    }
+
+    /// Zero every series (handles stay valid).
+    pub fn reset(&self) {
+        for c in self.children.read().values() {
+            c.reset();
+        }
+        self.overflow.reset();
+    }
+}
+
+/// A family of [`Histogram`]s keyed by a small label-value tuple. Same
+/// caching, cap, and overflow semantics as [`CounterVec`].
+pub struct HistogramVec {
+    name: String,
+    keys: Vec<&'static str>,
+    cap: usize,
+    children: RwLock<BTreeMap<Vec<String>, Arc<Histogram>>>,
+    overflow: Arc<Histogram>,
+}
+
+impl HistogramVec {
+    /// A new family with the [`DEFAULT_MAX_SERIES`] cap.
+    pub fn new(name: &str, keys: &[&'static str]) -> Self {
+        HistogramVec::with_cap(name, keys, DEFAULT_MAX_SERIES)
+    }
+
+    /// A new family with an explicit cardinality cap (`cap >= 1`).
+    ///
+    /// # Panics
+    /// Panics when more than [`MAX_LABELS`] keys are declared.
+    pub fn with_cap(name: &str, keys: &[&'static str], cap: usize) -> Self {
+        assert!(
+            keys.len() <= MAX_LABELS,
+            "metric family {name:?}: at most {MAX_LABELS} label keys"
+        );
+        HistogramVec {
+            name: name.to_string(),
+            keys: keys.to_vec(),
+            cap: cap.max(1),
+            children: RwLock::new(BTreeMap::new()),
+            overflow: Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Family name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared label keys, in declaration order.
+    pub fn keys(&self) -> &[&'static str] {
+        &self.keys
+    }
+
+    /// The cardinality cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The overflow child.
+    pub fn overflow(&self) -> Arc<Histogram> {
+        Arc::clone(&self.overflow)
+    }
+
+    /// Number of live (non-overflow) series.
+    pub fn series_count(&self) -> usize {
+        self.children.read().len()
+    }
+
+    /// Get-or-create the child for `values`; see [`CounterVec::with`].
+    pub fn with(&self, values: &[&str]) -> Arc<Histogram> {
+        if values.len() != self.keys.len() {
+            return Arc::clone(&self.overflow);
+        }
+        {
+            let children = self.children.read();
+            if let Some(h) = lookup(&children, values) {
+                return Arc::clone(h);
+            }
+            if children.len() >= self.cap {
+                return Arc::clone(&self.overflow);
+            }
+        }
+        let mut children = self.children.write();
+        if let Some(h) = lookup(&children, values) {
+            return Arc::clone(h);
+        }
+        if children.len() >= self.cap {
+            return Arc::clone(&self.overflow);
+        }
+        let key: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        Arc::clone(
+            children
+                .entry(key)
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// All series as `(label values, stats)`, sorted by label values,
+    /// overflow included when non-empty.
+    pub fn snapshot(&self) -> Vec<(Vec<String>, HistStats)> {
+        let mut out: Vec<(Vec<String>, HistStats)> = self
+            .children
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.stats()))
+            .collect();
+        if self.overflow.count() > 0 {
+            let key = vec![OVERFLOW_VALUE.to_string(); self.keys.len()];
+            let at = out.partition_point(|(k, _)| *k < key);
+            out.insert(at, (key, self.overflow.stats()));
+        }
+        out
+    }
+
+    /// Clear every series (handles stay valid).
+    pub fn reset(&self) {
+        for h in self.children.read().values() {
+            h.reset();
+        }
+        self.overflow.reset();
+    }
+}
+
+/// Borrowed-key lookup in a `BTreeMap<Vec<String>, _>` without allocating
+/// the owned tuple on the hit path.
+fn lookup<'m, T>(map: &'m BTreeMap<Vec<String>, T>, values: &[&str]) -> Option<&'m T> {
+    // BTreeMap cannot borrow `Vec<String>` as `[&str]`, so walk by range
+    // equality instead: label tuples are tiny (<= MAX_LABELS), families
+    // are small (<= cap), and this runs once per handle resolution — a
+    // linear scan of a read-locked map is cheaper than the alloc.
+    map.iter()
+        .find(|(k, _)| {
+            k.len() == values.len() && k.iter().map(String::as_str).eq(values.iter().copied())
+        })
+        .map(|(_, v)| v)
+}
+
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double quote, and newline must be escaped inside the quoted
+/// value; everything else passes through verbatim.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a `{k1="v1",k2="v2"}` label block (empty string for no labels),
+/// with values escaped. `extra` appends one more pair (the summary
+/// `quantile` label) after the family labels.
+pub fn render_label_block(
+    keys: &[&'static str],
+    values: &[String],
+    extra: Option<(&str, &str)>,
+) -> String {
+    let mut pairs: Vec<String> = keys
+        .iter()
+        .zip(values)
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn children_are_shared_per_label_set() {
+        let v = CounterVec::new("test.family", &["campaign", "strategy"]);
+        v.with(&["1", "vr"]).add(3);
+        v.with(&["1", "vr"]).add(4);
+        v.with(&["2", "vr"]).inc();
+        assert_eq!(v.with(&["1", "vr"]).get(), 7);
+        assert_eq!(v.with(&["2", "vr"]).get(), 1);
+        assert_eq!(v.series_count(), 2);
+    }
+
+    #[test]
+    fn cap_routes_new_series_to_overflow() {
+        let v = CounterVec::with_cap("test.capped", &["k"], 2);
+        v.with(&["a"]).inc();
+        v.with(&["b"]).inc();
+        // Third distinct tuple: overflow, not a new series.
+        v.with(&["c"]).inc();
+        v.with(&["d"]).add(2);
+        assert_eq!(v.series_count(), 2);
+        assert_eq!(v.overflow().get(), 3);
+        // Existing tuples still resolve to their own series at the cap.
+        v.with(&["a"]).inc();
+        assert_eq!(v.with(&["a"]).get(), 2);
+        let snap = v.snapshot();
+        assert_eq!(snap.len(), 3);
+        // "_overflow" sorts before the lowercase live series.
+        assert_eq!(snap[0].0, vec![OVERFLOW_VALUE.to_string()]);
+        assert_eq!(snap[0].1, 3);
+    }
+
+    #[test]
+    fn wrong_arity_goes_to_overflow() {
+        let v = CounterVec::new("test.arity", &["a", "b"]);
+        v.with(&["only-one"]).inc();
+        assert_eq!(v.series_count(), 0);
+        assert_eq!(v.overflow().get(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_label_values() {
+        let v = CounterVec::new("test.sorted", &["k"]);
+        for name in ["zebra", "alpha", "mid"] {
+            v.with(&[name]).inc();
+        }
+        let names: Vec<String> = v.snapshot().into_iter().map(|(k, _)| k.join(",")).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zebra"]);
+    }
+
+    #[test]
+    fn histogram_vec_records_and_caps() {
+        let v = HistogramVec::with_cap("test.hist", &["tier"], 1);
+        v.with(&["exact"]).record(100);
+        v.with(&["exact"]).record(200);
+        v.with(&["sparse"]).record(999); // beyond cap -> overflow
+        assert_eq!(v.with(&["exact"]).stats().count, 2);
+        assert_eq!(v.overflow().stats().count, 1);
+        let snap = v.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, vec![OVERFLOW_VALUE.to_string()]);
+        assert_eq!(snap[1].1.sum, 300);
+    }
+
+    #[test]
+    fn reset_keeps_series_alive() {
+        let v = CounterVec::new("test.reset", &["k"]);
+        let h = v.with(&["x"]);
+        h.add(5);
+        v.reset();
+        assert_eq!(h.get(), 0);
+        h.inc();
+        assert_eq!(v.with(&["x"]).get(), 1);
+    }
+
+    #[test]
+    fn label_values_escape_per_exposition_format() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("line\nbreak"), "line\\nbreak");
+    }
+
+    #[test]
+    fn label_block_renders_escaped_pairs() {
+        let block = render_label_block(
+            &["campaign", "strategy"],
+            &["7".to_string(), "v\"r\n".to_string()],
+            None,
+        );
+        assert_eq!(block, "{campaign=\"7\",strategy=\"v\\\"r\\n\"}");
+        let with_q =
+            render_label_block(&["tier"], &["exact".to_string()], Some(("quantile", "0.5")));
+        assert_eq!(with_q, "{tier=\"exact\",quantile=\"0.5\"}");
+        assert_eq!(render_label_block(&[], &[], None), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_label_keys_rejected() {
+        let _ = CounterVec::new("test.wide", &["a", "b", "c", "d", "e"]);
+    }
+}

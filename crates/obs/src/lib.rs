@@ -40,21 +40,30 @@
 //! alperf_obs::set_enabled(false);
 //! ```
 
+pub mod aggregate;
 pub mod clock;
 pub mod event;
+pub mod http;
 pub mod json;
+pub mod labels;
 pub mod metrics;
 pub mod names;
+pub mod profiler;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod watchdog;
 
+pub use aggregate::{AggregateSnapshot, Aggregator, CampaignStats};
 pub use clock::{Clock, FakeClock, SystemClock};
-pub use event::{Event, MetaEvent, RecordEvent, SpanEvent};
+pub use event::{Event, MetaEvent, RecordEvent, SampleEvent, SpanEvent};
+pub use http::HttpServer;
+pub use labels::{CounterVec, HistogramVec};
 pub use metrics::{Counter, HistStats, Histogram};
 pub use registry::Registry;
 pub use sink::Value;
 pub use span::{SpanCtx, SpanGuard};
+pub use watchdog::{StallReport, Watchdog};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -89,6 +98,19 @@ pub fn counter(name: &str) -> Arc<Counter> {
 /// Get-or-create a histogram in the global registry.
 pub fn histogram(name: &str) -> Arc<Histogram> {
     registry::global().histogram(name)
+}
+
+/// Get-or-create a labeled counter family in the global registry. Call
+/// once per campaign/phase, then cache the child handle from
+/// [`CounterVec::with`] — the per-event cost is then one relaxed atomic,
+/// same as an unlabeled counter.
+pub fn counter_vec(name: &str, keys: &'static [&'static str]) -> Arc<CounterVec> {
+    registry::global().counter_vec(name, keys)
+}
+
+/// Get-or-create a labeled histogram family in the global registry.
+pub fn histogram_vec(name: &str, keys: &'static [&'static str]) -> Arc<HistogramVec> {
+    registry::global().histogram_vec(name, keys)
 }
 
 /// Increment counter `name` by one — a no-op when telemetry is disabled.
@@ -144,11 +166,14 @@ pub fn current_span() -> Option<SpanCtx> {
 
 /// Emit a structured record event (one JSONL line) — a no-op when
 /// telemetry is disabled or no sink is installed. `fields` appear under
-/// the `"fields"` key of the emitted object.
+/// the `"fields"` key of the emitted object. When a live aggregator is
+/// installed ([`aggregate::install`]) the record is also streamed into
+/// its rolling windows.
 #[inline]
 pub fn record(name: &str, fields: &[(&str, Value<'_>)]) {
     if enabled() {
         sink::emit_record(name, fields);
+        aggregate::observe_global(name, fields);
     }
 }
 

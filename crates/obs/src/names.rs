@@ -36,3 +36,31 @@ pub const AL_PIPELINE_OVERLAP_NS: &str = "al.pipeline.overlap_ns";
 /// Counter + record: a speculated in-flight measurement lost to a fault;
 /// its cost was charged and the already-made stale selection kept.
 pub const AL_PIPELINE_LOST_SPECULATION: &str = "al.pipeline.lost_speculation";
+/// Counter + record: a watchdog heartbeat key went stale (stalled
+/// campaign/thread/span); the record carries `key`, `idle_ns`, `beats`.
+pub const OBS_WATCHDOG_STALL: &str = "obs.watchdog.stall";
+/// Counter: stack samples captured by the cooperative profiler.
+pub const OBS_PROFILER_SAMPLES: &str = "obs.profiler.samples";
+/// Labeled family (`campaign`, `strategy`): AL iterations per campaign.
+pub const AL_CAMPAIGN_ITERATIONS: &str = "al.campaign.iterations";
+/// Labeled family (`campaign`, `strategy`): degraded iterations per
+/// campaign.
+pub const AL_CAMPAIGN_DEGRADED: &str = "al.campaign.degraded";
+/// Labeled family (`strategy`, `tier`): per-iteration fit time.
+pub const AL_FIT_BY_TIER: &str = "al.fit.by_tier";
+/// Labeled family (`fault_kind`): injected faults seen by the executor
+/// (retried or terminal).
+pub const CLUSTER_FAULTS_BY_KIND: &str = "cluster.faults.by_kind";
+/// Labeled family (`tier`): surrogate fits per tier.
+pub const GP_FITS_BY_TIER: &str = "gp.fits.by_tier";
+/// Labeled family (`tier`): pool points predicted per tier.
+pub const GP_PREDICT_POINTS_BY_TIER: &str = "gp.predict.points.by_tier";
+
+/// Label key: campaign / run id.
+pub const LABEL_CAMPAIGN: &str = "campaign";
+/// Label key: acquisition strategy name.
+pub const LABEL_STRATEGY: &str = "strategy";
+/// Label key: surrogate fit tier (`exact`, `sparse`, …).
+pub const LABEL_TIER: &str = "tier";
+/// Label key: injected fault kind.
+pub const LABEL_FAULT_KIND: &str = "fault_kind";

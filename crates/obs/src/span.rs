@@ -92,6 +92,10 @@ pub struct SpanGuard {
     start_ns: u64,
     parent: Parent,
     active: bool,
+    /// Did this guard push a frame onto the profiler mirror? Remembered
+    /// per guard so arm/disarm mid-span keeps the mirror balanced: only
+    /// the guard that pushed pops.
+    mirrored: bool,
 }
 
 impl SpanGuard {
@@ -104,6 +108,7 @@ impl SpanGuard {
             start_ns: 0,
             parent: Parent::Stack,
             active: false,
+            mirrored: false,
         }
     }
 
@@ -123,12 +128,17 @@ impl SpanGuard {
     fn open(name: &'static str, parent: Parent) -> SpanGuard {
         let id = next_span_id();
         STACK.with(|s| s.borrow_mut().push(SpanCtx { name, id }));
+        let mirrored = crate::profiler::armed();
+        if mirrored {
+            crate::profiler::mirror_push(name);
+        }
         SpanGuard {
             name,
             id,
             start_ns: monotonic_ns(),
             parent,
             active: true,
+            mirrored,
         }
     }
 
@@ -151,6 +161,9 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if !self.active {
             return;
+        }
+        if self.mirrored {
+            crate::profiler::mirror_pop();
         }
         let dur = monotonic_ns().saturating_sub(self.start_ns);
         let stack_parent = STACK.with(|s| {

@@ -1,0 +1,232 @@
+//! Heartbeat watchdog: flags stalled campaigns, threads, and spans.
+//!
+//! Progress-making code *beats* a named key ([`Watchdog::beat`]) — the AL
+//! runner beats `campaign:<run_id>` once per iteration, the sampler loop
+//! beats `thread:<tid>` whenever a thread's leaf span changes. A periodic
+//! [`Watchdog::check`] (driven by the sampler thread, or directly by
+//! tests and `live_report`) flags every watched key whose last beat is
+//! older than the stall threshold: once per stall it bumps the
+//! [`crate::names::OBS_WATCHDOG_STALL`] counter, emits a
+//! `obs.watchdog.stall` record to the trace sink, and returns a
+//! [`StallReport`]. A later beat un-flags the key (recovery), so a
+//! re-stall reports again.
+//!
+//! Time comes from an injected [`Clock`], so the whole stall lifecycle —
+//! beat, stall, flag-once, recover, re-stall — is testable to the
+//! nanosecond with a [`crate::FakeClock`] and never sleeps in tests.
+
+use crate::clock::{Clock, SystemClock};
+use crate::sink::Value;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Default stall threshold for the global watchdog: 30 s without a beat.
+pub const DEFAULT_STALL_NS: u64 = 30_000_000_000;
+
+/// One flagged stall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallReport {
+    /// The watched key (`campaign:<run>`, `thread:<tid>`, …).
+    pub key: String,
+    /// Nanoseconds since the key's last beat.
+    pub idle_ns: u64,
+    /// Total beats the key received before stalling.
+    pub beats: u64,
+}
+
+struct Entry {
+    last_beat_ns: u64,
+    beats: u64,
+    flagged: bool,
+}
+
+/// A heartbeat watchdog over an injected clock.
+pub struct Watchdog {
+    clock: Arc<dyn Clock>,
+    stall_after_ns: AtomicU64,
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl Watchdog {
+    /// A watchdog reading time from `clock`, flagging keys idle for more
+    /// than `stall_after_ns`.
+    pub fn new(clock: Arc<dyn Clock>, stall_after_ns: u64) -> Self {
+        Watchdog {
+            clock,
+            stall_after_ns: AtomicU64::new(stall_after_ns.max(1)),
+            entries: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Change the stall threshold (takes effect at the next check).
+    pub fn set_stall_after_ns(&self, ns: u64) {
+        self.stall_after_ns.store(ns.max(1), Ordering::Relaxed);
+    }
+
+    /// The current stall threshold.
+    pub fn stall_after_ns(&self) -> u64 {
+        self.stall_after_ns.load(Ordering::Relaxed)
+    }
+
+    /// Record a heartbeat for `key`: the key is (still) making progress.
+    /// Un-flags a previously stalled key, so recovery and re-stall both
+    /// get reported.
+    pub fn beat(&self, key: &str) {
+        let now = self.clock.now_ns();
+        let mut entries = self.entries.lock();
+        match entries.get_mut(key) {
+            Some(e) => {
+                e.last_beat_ns = now;
+                e.beats += 1;
+                e.flagged = false;
+            }
+            None => {
+                entries.insert(
+                    key.to_string(),
+                    Entry {
+                        last_beat_ns: now,
+                        beats: 1,
+                        flagged: false,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Stop watching `key` (clean completion is not a stall).
+    pub fn clear(&self, key: &str) {
+        self.entries.lock().remove(key);
+    }
+
+    /// Number of currently watched keys.
+    pub fn watched(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Flag every key idle past the threshold. Each stall is reported
+    /// exactly once until the key beats again: the counter/record
+    /// emission happens here, and the reports are returned key-sorted.
+    pub fn check(&self) -> Vec<StallReport> {
+        let now = self.clock.now_ns();
+        let stall_after = self.stall_after_ns();
+        let mut reports = Vec::new();
+        {
+            let mut entries = self.entries.lock();
+            for (key, e) in entries.iter_mut() {
+                let idle = now.saturating_sub(e.last_beat_ns);
+                if idle > stall_after && !e.flagged {
+                    e.flagged = true;
+                    reports.push(StallReport {
+                        key: key.clone(),
+                        idle_ns: idle,
+                        beats: e.beats,
+                    });
+                }
+            }
+        }
+        for r in &reports {
+            crate::inc(crate::names::OBS_WATCHDOG_STALL);
+            crate::record(
+                crate::names::OBS_WATCHDOG_STALL,
+                &[
+                    ("key", Value::Str(&r.key)),
+                    ("idle_ns", Value::U64(r.idle_ns)),
+                    ("beats", Value::U64(r.beats)),
+                ],
+            );
+        }
+        reports
+    }
+
+    /// Currently-flagged keys, sorted (for status displays).
+    pub fn flagged(&self) -> Vec<String> {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|(_, e)| e.flagged)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+}
+
+/// The process-wide watchdog (system clock, [`DEFAULT_STALL_NS`]); the
+/// sampler loop checks it, the AL runner beats it.
+pub fn global() -> &'static Watchdog {
+    static GLOBAL: OnceLock<Watchdog> = OnceLock::new();
+    GLOBAL.get_or_init(|| Watchdog::new(Arc::new(SystemClock), DEFAULT_STALL_NS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::FakeClock;
+
+    fn fixture(stall_ns: u64) -> (Arc<FakeClock>, Watchdog) {
+        let clock = Arc::new(FakeClock::new());
+        let wd = Watchdog::new(Arc::clone(&clock) as Arc<dyn Clock>, stall_ns);
+        (clock, wd)
+    }
+
+    #[test]
+    fn stall_flags_once_and_recovers() {
+        let (clock, wd) = fixture(1_000);
+        wd.beat("campaign:1");
+        clock.advance(999);
+        assert!(wd.check().is_empty(), "inside threshold: no stall");
+        clock.advance(2);
+        let reports = wd.check();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].key, "campaign:1");
+        assert_eq!(reports[0].idle_ns, 1_001);
+        assert_eq!(reports[0].beats, 1);
+        assert_eq!(wd.flagged(), vec!["campaign:1".to_string()]);
+        // Flag-once: a second check does not re-report.
+        assert!(wd.check().is_empty());
+        // Recovery un-flags; a fresh stall reports again.
+        wd.beat("campaign:1");
+        assert!(wd.flagged().is_empty());
+        clock.advance(5_000);
+        assert_eq!(wd.check().len(), 1);
+    }
+
+    #[test]
+    fn clear_stops_watching() {
+        let (clock, wd) = fixture(100);
+        wd.beat("campaign:7");
+        wd.clear("campaign:7");
+        clock.advance(1_000);
+        assert!(wd.check().is_empty());
+        assert_eq!(wd.watched(), 0);
+    }
+
+    #[test]
+    fn independent_keys_stall_independently() {
+        let (clock, wd) = fixture(1_000);
+        wd.beat("a");
+        clock.advance(600);
+        wd.beat("b");
+        clock.advance(600);
+        // a idle 1200 (> 1000), b idle 600.
+        let reports = wd.check();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].key, "a");
+    }
+
+    #[test]
+    fn stall_emits_counter_when_enabled() {
+        let _l = crate::tests::TEST_LOCK.lock();
+        let (clock, wd) = fixture(10);
+        let before = crate::counter(crate::names::OBS_WATCHDOG_STALL).get();
+        crate::set_enabled(true);
+        wd.beat("campaign:9");
+        clock.advance(100);
+        wd.check();
+        crate::set_enabled(false);
+        assert_eq!(
+            crate::counter(crate::names::OBS_WATCHDOG_STALL).get(),
+            before + 1
+        );
+    }
+}

@@ -43,6 +43,6 @@ pub use diff::{
     diff_traces, render_json as render_diff_json, render_table as render_diff_table,
     significant_regressions, DiffConfig, SpanDiff,
 };
-pub use folded::folded_stacks;
+pub use folded::{folded_stacks, sampled_stacks};
 pub use reader::{read_path, read_trace, Trace, TraceError};
 pub use tree::{SpanForest, SpanNode, TreeError};
