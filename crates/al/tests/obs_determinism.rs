@@ -2,10 +2,11 @@
 //!
 //! Runs the same small AL experiment with telemetry off and then fully on
 //! (global switch + JSONL trace sink + labeled metric families + the
-//! stack-sampling profiler + the streaming aggregator), same seed, and
-//! requires the *bit-identical* histories — RMSE/AMSD/sigma_f traces,
-//! selected-candidate sequence, costs, LML, noise — via
-//! `IterationRecord`'s `PartialEq`.
+//! stack-sampling profiler + the streaming aggregator + the tsdb
+//! scraper + the alerting rules engine + the black-box flight
+//! recorder), same seed, and requires the *bit-identical* histories —
+//! RMSE/AMSD/sigma_f traces, selected-candidate sequence, costs, LML,
+//! noise — via `IterationRecord`'s `PartialEq`.
 //! This is the contract that lets instrumentation live inside the hot
 //! numeric paths: a telemetry-on run may only be slower, never different.
 //!
@@ -114,6 +115,15 @@ fn telemetry_on_is_bit_identical_to_telemetry_off() {
     alperf_obs::set_enabled(true);
     let sampler = alperf_obs::profiler::start(500.0);
     let aggregator = alperf_obs::aggregate::install(alperf_obs::aggregate::DEFAULT_WINDOW_NS);
+    // The retentive stack too: scraper feeding the embedded tsdb, the
+    // default alerting rules evaluated after every scrape, and the
+    // black-box recorder mirroring every span/record into its rings.
+    // All of it must be as strictly observational as the passive sinks.
+    let tsdb = alperf_obs::tsdb::install(alperf_obs::TsdbConfig::default());
+    let scraper =
+        alperf_obs::tsdb::start_scraper(tsdb.clone(), std::time::Duration::from_millis(20));
+    let engine = alperf_obs::alerts::install(alperf_obs::alerts::default_rules());
+    alperf_obs::blackbox::arm(alperf_obs::blackbox::DEFAULT_CAPACITY);
     let campaign_iters_before = alperf_obs::counter_vec(
         alperf_obs::names::AL_CAMPAIGN_ITERATIONS,
         &[
@@ -133,7 +143,14 @@ fn telemetry_on_is_bit_identical_to_telemetry_off() {
     let reconciles_before = alperf_obs::counter(alperf_obs::names::AL_PIPELINE_RECONCILES).get();
     let on_pipelined = run_once_pipelined();
     let agg = aggregator.snapshot();
+    let tsdb_stats = tsdb.stats();
+    let evaluations = engine.evaluations();
+    let blackbox_events = alperf_obs::blackbox::snapshot().len();
+    scraper.stop();
     sampler.stop();
+    alperf_obs::blackbox::disarm();
+    alperf_obs::alerts::uninstall();
+    alperf_obs::tsdb::uninstall();
     alperf_obs::aggregate::uninstall();
     alperf_obs::set_enabled(false);
     alperf_obs::sink::uninstall();
@@ -241,5 +258,24 @@ fn telemetry_on_is_bit_identical_to_telemetry_off() {
     assert!(
         text.lines().any(|l| l.contains("\"t\":\"sample\"")),
         "trace has no profiler sample records"
+    );
+
+    // The retentive stack was really running too (the bit-identity
+    // assertions above ran with all of it armed): the scraper retained
+    // series in the tsdb, the alert engine evaluated its rules, and the
+    // flight recorder captured events.
+    assert!(
+        tsdb_stats.scrapes > 0 && tsdb_stats.series > 0,
+        "tsdb scraper retained nothing (scrapes {}, series {})",
+        tsdb_stats.scrapes,
+        tsdb_stats.series
+    );
+    assert!(
+        evaluations > 0,
+        "alert engine never evaluated during the telemetry-on runs"
+    );
+    assert!(
+        blackbox_events > 0,
+        "black-box recorder captured no events during the telemetry-on runs"
     );
 }

@@ -1,23 +1,36 @@
 //! Live fleet telemetry smoke/demo: runs short AL campaigns with the
-//! streaming aggregator and the cooperative stack sampler switched on,
-//! prints the aggregator's rolling per-campaign table while the fleet is
-//! running, and — when the `/metrics` endpoint is up — self-probes it
-//! with the std TCP client and validates the Prometheus exposition.
+//! full retentive-observability stack armed — streaming aggregator,
+//! cooperative stack sampler, embedded tsdb scraper, alerting rules
+//! engine, and black-box flight recorder — injects a chaos stall into a
+//! watchdog mid-flight, and requires the `chaos_stall` alert to *fire
+//! and resolve* before exiting. When the `/metrics` endpoint is up it
+//! self-probes `/metrics`, `/health`, `/query`, and `/alerts` with the
+//! std TCP client and validates the responses.
 //!
 //! Usage:
-//!   live_report [--quick]
+//!   live_report [--quick] [--failure-rate <f>]
+//!
+//! `--failure-rate <f>` adds a fourth campaign driven by the seeded
+//! fault oracle at rate `f`, so degraded-iteration telemetry flows
+//! through the tsdb and burn-rate rule while the stall demo runs.
 //!
 //! Environment (see `alperf_bench::obs_from_env`):
 //! * `ALPERF_OBS_TRACE=<path>` — also write the JSONL trace (profiler
-//!   samples included; `validate_trace` checks them);
+//!   samples and alert transition records included; `validate_trace`
+//!   checks them);
 //! * `ALPERF_OBS_SAMPLE_HZ=<hz>` — sampler rate (default here: the
 //!   profiler's default rate — live_report always samples);
-//! * `ALPERF_OBS_HTTP=<addr>|1` — serve `/metrics` + `/health`; the run
-//!   fetches both while campaigns are live and fails on bad output.
+//! * `ALPERF_OBS_HTTP=<addr>|1` — serve the endpoints; the run fetches
+//!   them while campaigns are live and fails on bad output;
+//! * `ALPERF_OBS_BLACKBOX=<path>` — black-box dump destination
+//!   (default here: `target/repro/blackbox.jsonl` — live_report always
+//!   arms the recorder and dumps at exit).
 //!
-//! Exit codes: 0 ok; 1 a self-probe or exposition validation failed.
+//! Exit codes: 0 ok; 1 a self-probe failed, the chaos alert did not
+//! fire+resolve, or the black-box dump came out empty.
 
-use alperf_al::runner::{run_al, AlConfig, PipelineConfig};
+use alperf_al::oracle::SeededFaultOracle;
+use alperf_al::runner::{run_al, run_al_with_oracle, AlConfig, PipelineConfig};
 use alperf_al::strategy::VarianceReduction;
 use alperf_bench::banner;
 use alperf_data::partition::Partition;
@@ -25,12 +38,15 @@ use alperf_gp::kernel::SquaredExponential;
 use alperf_gp::noise::NoiseFloor;
 use alperf_gp::optimize::GprConfig;
 use alperf_linalg::matrix::Matrix;
+use alperf_obs::alerts::{Cmp, Condition, Rule};
+use alperf_obs::watchdog::Watchdog;
+use alperf_obs::SystemClock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Synthetic 1-D problem: noisy sine with quadratic measurement cost.
 fn dataset(n: usize, seed: u64) -> (Matrix, Vec<f64>, Vec<f64>) {
@@ -44,7 +60,7 @@ fn dataset(n: usize, seed: u64) -> (Matrix, Vec<f64>, Vec<f64>) {
     (Matrix::from_vec(n, 1, xs).unwrap(), y, cost)
 }
 
-fn run_campaign(seed: u64, iters: usize, pipelined: bool) {
+fn run_campaign(seed: u64, iters: usize, pipelined: bool, failure_rate: f64) {
     let (x, y, cost) = dataset(60, seed);
     let part = Partition::random(60, 2, 0.8, seed);
     let gpr = GprConfig::new(Box::new(SquaredExponential::unit()))
@@ -61,7 +77,47 @@ fn run_campaign(seed: u64, iters: usize, pipelined: bool) {
         },
         ..AlConfig::new(gpr)
     };
-    run_al(&x, &y, &cost, &part, &mut VarianceReduction, &cfg).expect("AL campaign");
+    if failure_rate > 0.0 {
+        let oracle = SeededFaultOracle::new(seed, failure_rate);
+        run_al_with_oracle(&x, &y, &cost, &part, &mut VarianceReduction, &oracle, &cfg)
+            .expect("chaos AL campaign");
+    } else {
+        run_al(&x, &y, &cost, &part, &mut VarianceReduction, &cfg).expect("AL campaign");
+    }
+}
+
+/// Demo rules with windows short enough that a CI-speed run sees the
+/// full inactive → firing → resolved arc. `chaos_stall` is the asserted
+/// one: the injected watchdog stall bumps `obs.watchdog.stall` exactly
+/// once, the 2 s threshold window then slides past it, so the rule
+/// fires on the next scrape and resolves ~2 s later with no further
+/// choreography.
+fn demo_rules() -> Vec<Rule> {
+    vec![
+        Rule::new(
+            "chaos_stall",
+            Condition::Threshold {
+                series: alperf_obs::names::OBS_WATCHDOG_STALL.into(),
+                cmp: Cmp::Ge,
+                value: 1.0,
+                window_ns: 2_000_000_000,
+            },
+            0,
+            0,
+        ),
+        Rule::new(
+            "degraded_burn",
+            Condition::BurnRate {
+                numerator: alperf_obs::names::AL_DEGRADED_ITERATION.into(),
+                denominator: format!("{}.count", alperf_obs::names::AL_ITERATION),
+                cmp: Cmp::Gt,
+                ratio: 0.05,
+                window_ns: 5_000_000_000,
+            },
+            0,
+            2_000_000_000,
+        ),
+    ]
 }
 
 fn fail(msg: &str) -> ExitCode {
@@ -71,48 +127,96 @@ fn fail(msg: &str) -> ExitCode {
 
 fn main() -> ExitCode {
     alperf_bench::threads_from_env();
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let failure_rate: f64 = args
+        .iter()
+        .position(|a| a == "--failure-rate")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--failure-rate takes a number"))
+        .unwrap_or(0.0);
     let iters = if quick { 10 } else { 30 };
 
-    // Env may install the trace sink / sampler / endpoint; the aggregator
-    // and (failing an env-chosen rate) the sampler are always on here —
-    // live telemetry is the whole point of this binary.
+    // Env may install the trace sink / sampler / endpoint / scraper; the
+    // aggregator, the alert engine, the black-box recorder, and (failing
+    // env-chosen configs) the sampler and tsdb scraper are always on
+    // here — live retentive telemetry is the whole point of this binary.
     alperf_bench::obs_from_env();
     alperf_obs::set_enabled(true);
     let aggregator = alperf_obs::aggregate::install(alperf_obs::aggregate::DEFAULT_WINDOW_NS);
     let own_sampler = (std::env::var("ALPERF_OBS_SAMPLE_HZ").map_or(true, |v| v.is_empty()))
         .then(|| alperf_obs::profiler::start(alperf_obs::profiler::DEFAULT_HZ));
+    let own_scraper = (!alperf_obs::tsdb::active()).then(|| {
+        let tsdb = alperf_obs::tsdb::install(alperf_obs::TsdbConfig::default());
+        alperf_obs::tsdb::start_scraper(tsdb, Duration::from_millis(50))
+    });
+    let engine = alperf_obs::alerts::install(demo_rules());
+    alperf_obs::blackbox::arm(alperf_obs::blackbox::DEFAULT_CAPACITY);
+    if alperf_obs::blackbox::dump_path().is_none() {
+        alperf_obs::blackbox::set_dump_path(Some(alperf_bench::repro_dir().join("blackbox.jsonl")));
+    }
+    alperf_obs::blackbox::install_panic_hook();
 
+    // The chaos stall: a local watchdog (NOT the process-global one, so
+    // /health stays truthful about real keys) beaten exactly once. Its
+    // `check()` in the poll loop flags the silence ~300 ms in and bumps
+    // the global `obs.watchdog.stall` counter, which the scraper ingests
+    // and the `chaos_stall` rule fires on.
+    let chaos_wd = Watchdog::new(Arc::new(SystemClock), 300_000_000);
+    chaos_wd.beat("campaign:chaos-stall");
+
+    let campaigns = if failure_rate > 0.0 { 4 } else { 3 };
     banner(&format!(
-        "live fleet: 3 campaigns x {iters} iterations (sampler on{})",
+        "live fleet: {campaigns} campaigns x {iters} iterations (sampler+scraper+alerts+blackbox on{})",
         alperf_bench::obs_http_addr()
             .map(|a| format!(", /metrics at http://{a}"))
             .unwrap_or_default()
     ));
 
-    // The fleet: three campaigns on their own threads (two serial, one
-    // speculative-pipelined) so the aggregator has concurrent streams.
+    // The fleet: campaigns on their own threads (two serial, one
+    // speculative-pipelined, optionally one fault-injected) so the
+    // aggregator and tsdb have concurrent streams.
     let done = Arc::new(AtomicUsize::new(0));
-    let workers: Vec<_> = [(11u64, false), (23, false), (37, true)]
+    let mut plan = vec![(11u64, false, 0.0), (23, false, 0.0), (37, true, 0.0)];
+    if failure_rate > 0.0 {
+        plan.push((53, false, failure_rate));
+    }
+    let workers: Vec<_> = plan
         .into_iter()
-        .map(|(seed, pipelined)| {
+        .map(|(seed, pipelined, rate)| {
             let done = Arc::clone(&done);
             std::thread::spawn(move || {
-                run_campaign(seed, iters, pipelined);
+                run_campaign(seed, iters, pipelined, rate);
                 done.fetch_add(1, Ordering::Relaxed);
             })
         })
         .collect();
 
-    // Poll the live aggregator while the fleet runs; keep the last table
-    // so a fast fleet still prints one.
+    // Poll the live aggregator while the fleet runs (and keep polling
+    // after it finishes until the chaos alert completes its arc); keep
+    // the last in-flight table so a fast fleet still prints one.
     let mut probed = Ok(());
     let mut probed_live = false;
     let mut table = String::new();
-    while done.load(Ordering::Relaxed) < workers.len() {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let (mut fired, mut resolved) = (false, false);
+    loop {
+        let fleet_running = done.load(Ordering::Relaxed) < workers.len();
+        if (!fleet_running && fired && resolved) || Instant::now() >= deadline {
+            break;
+        }
         std::thread::sleep(Duration::from_millis(150));
-        table = aggregator.render_table();
-        if !probed_live {
+        chaos_wd.check();
+        if fleet_running {
+            table = aggregator.render_table();
+        }
+        for t in engine.transitions() {
+            if t.rule == "chaos_stall" {
+                fired |= t.to == "firing";
+                resolved |= t.to == "resolved";
+            }
+        }
+        if !probed_live && fleet_running {
             if let Some(addr) = alperf_bench::obs_http_addr() {
                 probed = probe_endpoint(addr);
                 probed_live = true;
@@ -127,6 +231,21 @@ fn main() -> ExitCode {
     banner("aggregator snapshot (final)");
     print!("{}", aggregator.render_table());
 
+    banner("alert transitions");
+    for t in engine.transitions() {
+        println!(
+            "  {:<14} {:>9} -> {:<9} value {:.3}",
+            t.rule, t.from, t.to, t.value
+        );
+    }
+    let stats = alperf_obs::tsdb::global()
+        .map(|t| t.stats())
+        .expect("tsdb installed");
+    println!(
+        "tsdb: {} series, {} scrapes, {} points evicted",
+        stats.series, stats.scrapes, stats.points_evicted
+    );
+
     // Probe after the fleet too (and at all, if the fleet outran the
     // first poll): the endpoint must stay consistent once idle.
     if let Some(addr) = alperf_bench::obs_http_addr() {
@@ -134,7 +253,9 @@ fn main() -> ExitCode {
             probed = probe_endpoint(addr);
         }
         match &probed {
-            Ok(()) => println!("\n/metrics + /health probes: ok (http://{addr})"),
+            Ok(()) => {
+                println!("\n/metrics + /health + /query + /alerts probes: ok (http://{addr})")
+            }
             Err(e) => return fail(e),
         }
     } else {
@@ -143,19 +264,43 @@ fn main() -> ExitCode {
 
     let sampled = alperf_obs::profiler::samples_folded();
     println!("profiler: {sampled} stack samples collected");
+
+    // The black-box dump: write it explicitly (the postmortem pipeline
+    // consumes it) and require it to carry events.
+    let dump = alperf_obs::blackbox::dump_on_fault("live_report.exit");
     if let Some(sampler) = own_sampler {
         sampler.stop();
+    }
+    if let Some(scraper) = own_scraper {
+        scraper.stop();
     }
     alperf_obs::aggregate::uninstall();
     alperf_bench::obs_finish();
     if sampled == 0 {
         return fail("sampler collected no stacks from a multi-campaign fleet");
     }
+    if !(fired && resolved) {
+        return fail(&format!(
+            "chaos_stall alert did not complete its arc (fired {fired}, resolved {resolved})"
+        ));
+    }
+    match &dump {
+        Some(path) => {
+            let events = std::fs::read_to_string(path)
+                .map(|s| s.lines().filter(|l| l.contains("\"t\":\"bb\"")).count())
+                .unwrap_or(0);
+            println!("blackbox: dumped {events} events -> {}", path.display());
+            if events == 0 {
+                return fail("black-box dump has no events after a full fleet run");
+            }
+        }
+        None => return fail("black-box dump was not written"),
+    }
     ExitCode::SUCCESS
 }
 
-/// Fetch `/metrics` and `/health` over a real TCP connection and validate
-/// the exposition body line by line.
+/// Fetch the four endpoints over a real TCP connection and validate the
+/// bodies line by line.
 fn probe_endpoint(addr: std::net::SocketAddr) -> Result<(), String> {
     let (status, body) =
         alperf_obs::http::fetch(addr, "/metrics").map_err(|e| format!("/metrics fetch: {e}"))?;
@@ -171,6 +316,19 @@ fn probe_endpoint(addr: std::net::SocketAddr) -> Result<(), String> {
         alperf_obs::http::fetch(addr, "/health").map_err(|e| format!("/health fetch: {e}"))?;
     if status != 200 || !body.starts_with("ok") {
         return Err(format!("/health returned {status}: {body:?}"));
+    }
+    if !body.contains("alerts_firing ") {
+        return Err(format!("/health body lacks alerts_firing: {body:?}"));
+    }
+    let (status, body) =
+        alperf_obs::http::fetch(addr, "/query").map_err(|e| format!("/query fetch: {e}"))?;
+    if status != 200 || !body.contains("alperf-tsdb-series-v1") {
+        return Err(format!("/query returned {status}: {body:?}"));
+    }
+    let (status, body) =
+        alperf_obs::http::fetch(addr, "/alerts").map_err(|e| format!("/alerts fetch: {e}"))?;
+    if status != 200 || !body.contains("alperf-alerts-v1") {
+        return Err(format!("/alerts returned {status}: {body:?}"));
     }
     Ok(())
 }

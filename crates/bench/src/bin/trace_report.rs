@@ -8,6 +8,7 @@
 //!   trace_report --folded-samples <trace.jsonl>    # folded profiler samples
 //!   trace_report --critical-path <name> <trace.jsonl>
 //!   trace_report --diff <a.jsonl> <b.jsonl> [--json] [--threshold <pct>] [--seed <n>]
+//!   trace_report --postmortem <blackbox.jsonl> [--window-s <s>]
 //!
 //! Folded output feeds any flamegraph renderer:
 //!   trace_report --folded trace.jsonl > trace.folded
@@ -16,6 +17,11 @@
 //! `--folded` weights frames by span *self time*; `--folded-samples`
 //! weights by profiler *sample count* (wall-clock incidence, including
 //! blocked time), so the two flamegraphs are directly comparable.
+//!
+//! `--postmortem` reads an `alperf-blackbox-v1` flight-recorder dump
+//! (written on panic, executor fault, or exit when the recorder is
+//! armed) and reconstructs the final seconds: the span tree that was in
+//! flight, record traffic, and the alerts firing at dump time.
 //!
 //! Exit codes: 0 ok; 1 malformed trace, broken span tree, or (--diff)
 //! significant regressions found; 2 usage; 3 unreadable input; 4 empty
@@ -36,7 +42,8 @@ fn usage() -> ExitCode {
          \x20      trace_report --folded <trace.jsonl>\n\
          \x20      trace_report --folded-samples <trace.jsonl>\n\
          \x20      trace_report --critical-path <name> <trace.jsonl>\n\
-         \x20      trace_report --diff <a.jsonl> <b.jsonl> [--json] [--threshold <pct>] [--seed <n>]"
+         \x20      trace_report --diff <a.jsonl> <b.jsonl> [--json] [--threshold <pct>] [--seed <n>]\n\
+         \x20      trace_report --postmortem <blackbox.jsonl> [--window-s <s>]"
     );
     ExitCode::from(2)
 }
@@ -168,6 +175,26 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--diff") => run_diff(&args[1..]),
+        Some("--postmortem") => {
+            let (path, window_s) = match args[1..] {
+                [ref path] => (path, 10.0),
+                [ref path, ref flag, ref s] if flag == "--window-s" => match s.parse::<f64>() {
+                    Ok(v) if v > 0.0 => (path, v),
+                    _ => return usage(),
+                },
+                _ => return usage(),
+            };
+            match alperf_trace::read_dump(Path::new(path)) {
+                Ok(pm) => {
+                    print!("{}", pm.render((window_s * 1e9) as u64));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("trace_report: {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("--folded") => {
             let [_, path] = args.as_slice() else {
                 return usage();

@@ -101,7 +101,8 @@ pub fn banner(title: &str) {
 static OBS_SERVICES: std::sync::Mutex<(
     Option<alperf_obs::profiler::SamplerHandle>,
     Option<alperf_obs::HttpServer>,
-)> = std::sync::Mutex::new((None, None));
+    Option<alperf_obs::ScraperHandle>,
+)> = std::sync::Mutex::new((None, None, None));
 
 /// Enable telemetry from the environment, if requested.
 ///
@@ -116,17 +117,38 @@ static OBS_SERVICES: std::sync::Mutex<(
 /// * `ALPERF_OBS_HTTP=<addr>|1` — serve `/metrics` and `/health` over
 ///   HTTP (`1` binds an ephemeral localhost port). Also switches
 ///   instrumentation on.
+/// * `ALPERF_OBS_SCRAPE_MS=<ms>` — install the embedded time-series
+///   store and scrape every registered metric into it at `<ms>`
+///   intervals (serves `/query` when the HTTP endpoint is up). Also
+///   switches instrumentation on.
+/// * `ALPERF_OBS_ALERTS=1` — install the default alerting rules engine;
+///   the scraper evaluates it after every scrape, so this implies a
+///   scraper (default interval when `ALPERF_OBS_SCRAPE_MS` is unset).
+/// * `ALPERF_OBS_BLACKBOX=<path>` — arm the black-box flight recorder
+///   and dump its rings to `<path>` on panic, executor fault, or exit.
+///   Also switches instrumentation on.
 ///
 /// Returns `true` when telemetry was enabled. Call [`obs_finish`] before
-/// exiting so the sampler stops, the trace is flushed, the snapshot is
-/// written, and the HTTP server shuts down.
+/// exiting so the sampler and scraper stop, the trace is flushed, the
+/// snapshot and black-box dump are written, and the HTTP server shuts
+/// down.
 pub fn obs_from_env() -> bool {
     let env_path = |key: &str| std::env::var(key).ok().filter(|p| !p.is_empty());
     let trace = env_path("ALPERF_OBS_TRACE");
     let snapshot = env_path("ALPERF_OBS_SNAPSHOT");
     let sample_hz = env_path("ALPERF_OBS_SAMPLE_HZ");
     let http = env_path(alperf_obs::http::ENV_HTTP).filter(|v| v != "0");
-    if trace.is_none() && snapshot.is_none() && sample_hz.is_none() && http.is_none() {
+    let scrape_ms = env_path("ALPERF_OBS_SCRAPE_MS");
+    let alerts = env_path("ALPERF_OBS_ALERTS").filter(|v| v != "0");
+    let blackbox = env_path("ALPERF_OBS_BLACKBOX");
+    if trace.is_none()
+        && snapshot.is_none()
+        && sample_hz.is_none()
+        && http.is_none()
+        && scrape_ms.is_none()
+        && alerts.is_none()
+        && blackbox.is_none()
+    {
         return false;
     }
     if let Some(path) = trace {
@@ -150,6 +172,28 @@ pub fn obs_from_env() -> bool {
         let server = result.expect("bind telemetry HTTP endpoint");
         eprintln!("(telemetry: /metrics at http://{})", server.local_addr());
         services.1 = Some(server);
+    }
+    if alerts.is_some() {
+        alperf_obs::alerts::install(alperf_obs::alerts::default_rules());
+        eprintln!("(telemetry: alerting rules engine armed)");
+    }
+    if scrape_ms.is_some() || alerts.is_some() {
+        let ms: u64 = scrape_ms.map_or(alperf_obs::tsdb::DEFAULT_SCRAPE_INTERVAL_MS, |ms| {
+            ms.parse()
+                .unwrap_or_else(|_| panic!("ALPERF_OBS_SCRAPE_MS={ms:?} is not an integer"))
+        });
+        let tsdb = alperf_obs::tsdb::install(alperf_obs::TsdbConfig::default());
+        services.2 = Some(alperf_obs::tsdb::start_scraper(
+            tsdb,
+            std::time::Duration::from_millis(ms.max(1)),
+        ));
+        eprintln!("(telemetry: tsdb scraper every {ms} ms)");
+    }
+    if let Some(path) = blackbox {
+        alperf_obs::blackbox::arm(alperf_obs::blackbox::DEFAULT_CAPACITY);
+        alperf_obs::blackbox::set_dump_path(Some(std::path::PathBuf::from(&path)));
+        alperf_obs::blackbox::install_panic_hook();
+        eprintln!("(telemetry: black-box recorder armed -> {path})");
     }
     true
 }
@@ -176,22 +220,29 @@ pub fn threads_from_env() -> (usize, &'static str) {
 }
 
 /// Flush the telemetry trace and write the Prometheus snapshot, if
-/// `ALPERF_OBS_SNAPSHOT` names a path. Stops the stack sampler and the
-/// `/metrics` server when [`obs_from_env`] started them. No-op when
-/// telemetry is off.
+/// `ALPERF_OBS_SNAPSHOT` names a path. Stops the stack sampler, the
+/// tsdb scraper, and the `/metrics` server when [`obs_from_env`]
+/// started them, and writes the final black-box dump when the recorder
+/// is armed with a dump path. No-op when telemetry is off.
 pub fn obs_finish() {
     if !alperf_obs::enabled() {
         return;
     }
     {
-        // Stop the sampler before flushing so its last samples land in
-        // the trace; the HTTP server goes last so /metrics stays live
-        // until the final snapshot is on disk.
+        // Stop the scraper and sampler before flushing so their last
+        // samples land in the trace; the HTTP server goes last so
+        // /metrics stays live until the final snapshot is on disk.
         let mut services = OBS_SERVICES.lock().unwrap();
+        if let Some(scraper) = services.2.take() {
+            scraper.stop();
+        }
         if let Some(sampler) = services.0.take() {
             sampler.stop();
         }
         services.1.take(); // drop shuts the server down
+    }
+    if let Some(path) = alperf_obs::blackbox::dump_on_fault("exit") {
+        eprintln!("(telemetry: black-box dump -> {})", path.display());
     }
     alperf_obs::sink::flush();
     if let Ok(path) = std::env::var("ALPERF_OBS_SNAPSHOT") {

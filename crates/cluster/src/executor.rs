@@ -202,12 +202,22 @@ pub fn measure_all(
             });
         }
     })
-    .map_err(|p| ExecError::WorkerPanic(panic_message(p)))?;
+    .map_err(|p| {
+        // Flight-recorder dump on the terminal failure path: capture what
+        // every thread was doing when the pool died (no-op unless armed).
+        alperf_obs::blackbox::dump_on_fault("cluster.worker_panic");
+        ExecError::WorkerPanic(panic_message(p))
+    })?;
     results
         .into_inner()
         .into_iter()
         .enumerate()
-        .map(|(idx, m)| m.ok_or(ExecError::MissingResult { idx }))
+        .map(|(idx, m)| {
+            m.ok_or_else(|| {
+                alperf_obs::blackbox::dump_on_fault("cluster.missing_result");
+                ExecError::MissingResult { idx }
+            })
+        })
         .collect()
 }
 

@@ -497,6 +497,18 @@ pub fn fit_gpr(x: &Matrix, y: &[f64], config: &GprConfig) -> Result<(Gpr, OptimO
     };
     // Refit on the *raw* y so Gpr's own standardizer matches ours.
     let model = Gpr::fit(x.clone(), y, kernel, noise, config.standardize)?;
+    // Fit-completion record: streamed into the live aggregator / black-box
+    // ring (observational only — emitted after every numeric decision).
+    alperf_obs::record(
+        "gp.fit.done",
+        &[
+            ("n", alperf_obs::Value::U64(x.nrows() as u64)),
+            ("lml", alperf_obs::Value::F64(lml)),
+            ("restarts", alperf_obs::Value::U64(restarts as u64)),
+            ("best_restart", alperf_obs::Value::U64(best_restart as u64)),
+            ("evaluations", alperf_obs::Value::U64(total_evals as u64)),
+        ],
+    );
     Ok((
         model,
         OptimOutcome {

@@ -25,6 +25,10 @@ use std::sync::Arc;
 /// Default rolling-window width: 10 s.
 pub const DEFAULT_WINDOW_NS: u64 = 10_000_000_000;
 
+/// Default campaign time-to-live: a campaign whose last record is older
+/// than this is evicted from the map on the next observation. 5 min.
+pub const DEFAULT_CAMPAIGN_TTL_NS: u64 = 300_000_000_000;
+
 /// Campaigns tracked at once; beyond this the oldest-idle is evicted.
 const MAX_CAMPAIGNS: usize = 256;
 
@@ -49,6 +53,7 @@ struct Campaign {
 struct Inner {
     campaigns: BTreeMap<u64, Campaign>,
     retries: VecDeque<u64>,
+    evictions: u64,
 }
 
 /// Live rolling-window statistics for one campaign.
@@ -96,16 +101,32 @@ pub struct AggregateSnapshot {
 /// A streaming aggregator over the telemetry record stream.
 pub struct Aggregator {
     window_ns: u64,
+    ttl_ns: u64,
     inner: Mutex<Inner>,
 }
 
 impl Aggregator {
-    /// An aggregator with rolling windows of `window_ns` nanoseconds.
+    /// An aggregator with rolling windows of `window_ns` nanoseconds and
+    /// the default campaign TTL.
     pub fn new(window_ns: u64) -> Self {
+        Aggregator::with_ttl(window_ns, DEFAULT_CAMPAIGN_TTL_NS)
+    }
+
+    /// An aggregator with an explicit campaign time-to-live: campaigns
+    /// idle longer than `ttl_ns` are evicted on the next observation
+    /// (clock-based, so completed/abandoned campaigns cannot pin the map
+    /// at [`MAX_CAMPAIGNS`] forever).
+    pub fn with_ttl(window_ns: u64, ttl_ns: u64) -> Self {
         Aggregator {
             window_ns: window_ns.max(1),
+            ttl_ns: ttl_ns.max(1),
             inner: Mutex::new(Inner::default()),
         }
+    }
+
+    /// Campaign windows evicted so far (count-cap plus TTL evictions).
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().evictions
     }
 
     /// Observe one record at the current monotonic time.
@@ -116,6 +137,7 @@ impl Aggregator {
     /// Observe one record at an explicit time — the deterministic entry
     /// point tests drive with fabricated timestamps.
     pub fn observe_at(&self, now_ns: u64, name: &str, fields: &[(&str, Value<'_>)]) {
+        self.evict_stale(now_ns);
         match name {
             "al.run_start" => {
                 let Some(run) = field_u64(fields, "run") else {
@@ -132,6 +154,8 @@ impl Aggregator {
                         .map(|(run, _)| *run)
                     {
                         inner.campaigns.remove(&oldest);
+                        inner.evictions += 1;
+                        crate::add(names::OBS_AGGREGATE_EVICTIONS, 1);
                     }
                 }
                 inner.campaigns.insert(
@@ -197,6 +221,24 @@ impl Aggregator {
                 }
             }
             _ => {}
+        }
+    }
+
+    /// Drop campaigns whose last record is older than the TTL. Runs at
+    /// the top of every observation, so the map self-cleans on a live
+    /// stream without a background thread (and deterministically: the
+    /// eviction point is a pure function of the observed timestamps).
+    fn evict_stale(&self, now_ns: u64) {
+        let mut inner = self.inner.lock();
+        let ttl = self.ttl_ns;
+        let before = inner.campaigns.len();
+        inner
+            .campaigns
+            .retain(|_, c| now_ns.saturating_sub(c.last_ns) <= ttl);
+        let evicted = (before - inner.campaigns.len()) as u64;
+        if evicted > 0 {
+            inner.evictions += evicted;
+            crate::add(names::OBS_AGGREGATE_EVICTIONS, evicted);
         }
     }
 
@@ -500,6 +542,31 @@ mod tests {
         agg.observe_at(0, "gp.tier.gate", &[("run", Value::U64(1))]);
         agg.observe_at(0, names::AL_ITERATION, &iteration(99, 0, 1.0, 1.0, false));
         assert!(agg.snapshot_at(0).campaigns.is_empty());
+    }
+
+    #[test]
+    fn stale_campaigns_age_out_by_ttl() {
+        let agg = Aggregator::with_ttl(S, 5 * S);
+        for run in [1u64, 2] {
+            agg.observe_at(
+                run * S,
+                "al.run_start",
+                &[("run", Value::U64(run)), ("strategy", Value::Str("s"))],
+            );
+        }
+        assert_eq!(agg.snapshot_at(2 * S).campaigns.len(), 2);
+        assert_eq!(agg.evictions(), 0);
+        // Run 1 last seen at 1 s: idle 6 s > TTL at t=7 s; run 2 (2 s)
+        // is exactly at the TTL boundary and survives.
+        agg.observe_at(7 * S, names::CLUSTER_RETRY, &[]);
+        let snap = agg.snapshot_at(7 * S);
+        assert_eq!(snap.campaigns.len(), 1);
+        assert_eq!(snap.campaigns[0].run, 2);
+        assert_eq!(agg.evictions(), 1);
+        // Everything idles out eventually.
+        agg.observe_at(60 * S, names::CLUSTER_RETRY, &[]);
+        assert!(agg.snapshot_at(60 * S).campaigns.is_empty());
+        assert_eq!(agg.evictions(), 2);
     }
 
     #[test]

@@ -1,0 +1,810 @@
+//! Deterministic SLO/alerting rules engine over the [`crate::tsdb`].
+//!
+//! Rules come in four kinds — threshold, absence, rate-of-change, and
+//! SLO burn-rate — and are evaluated against the time-series store on an
+//! explicit timestamp ([`Engine::evaluate_at`]), normally the same one
+//! the scraper loop just used. Evaluation is a pure function of
+//! (tsdb contents, `now_ns`, prior engine state): no wall clock, no
+//! randomness, no iteration-order dependence — replaying the same scrape
+//! timeline under a [`crate::FakeClock`] yields the bit-identical
+//! transition sequence (property-tested against a reference model in
+//! `tests/proptest_tsdb.rs`).
+//!
+//! Each rule runs a pending → firing → resolved state machine with
+//! hysteresis on both edges: the condition must hold for
+//! [`Rule::for_ns`] before firing, and must stay clear for
+//! [`Rule::resolve_after_ns`] before resolving. Every transition is
+//! returned to the caller, kept in a bounded in-engine log, and emitted
+//! into the alperf-obs-v1 trace as a schema-versioned
+//! [`crate::names::OBS_ALERT`] record (`asv` field =
+//! [`ALERT_SCHEMA_VERSION`]) carrying the rule's current value and — for
+//! histogram-derived series — the span exemplar that links the alert
+//! back into the trace/flamegraph pipeline.
+
+use crate::names;
+use crate::sink::Value;
+use crate::tsdb::Tsdb;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Version of the `obs.alert` record payload (`asv` field).
+pub const ALERT_SCHEMA_VERSION: u64 = 1;
+
+/// Transitions retained in the engine's bounded log.
+const MAX_TRANSITIONS: usize = 256;
+
+/// Comparison operator for rule conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `value > bound`.
+    Gt,
+    /// `value >= bound`.
+    Ge,
+    /// `value < bound`.
+    Lt,
+    /// `value <= bound`.
+    Le,
+}
+
+impl Cmp {
+    fn eval(&self, value: f64, bound: f64) -> bool {
+        match self {
+            Cmp::Gt => value > bound,
+            Cmp::Ge => value >= bound,
+            Cmp::Lt => value < bound,
+            Cmp::Le => value <= bound,
+        }
+    }
+
+    /// Stable name for rendering.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+        }
+    }
+}
+
+/// What a rule tests, evaluated over a trailing window ending at `now`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Sum of the series' deltas over the window, compared to `value`.
+    Threshold {
+        /// Series name in the tsdb.
+        series: String,
+        /// Comparison.
+        cmp: Cmp,
+        /// Bound for the windowed delta sum.
+        value: f64,
+        /// Trailing window width.
+        window_ns: u64,
+    },
+    /// No data point at all in the window — telemetry (or its producer)
+    /// went dark. Never true before `now` reaches one full window, so a
+    /// fresh engine does not fire on startup.
+    Absence {
+        /// Series name in the tsdb.
+        series: String,
+        /// Trailing window width.
+        window_ns: u64,
+    },
+    /// Windowed delta sum converted to a per-second rate, compared to
+    /// `per_sec`.
+    RateOfChange {
+        /// Series name in the tsdb.
+        series: String,
+        /// Comparison.
+        cmp: Cmp,
+        /// Bound, events per second.
+        per_sec: f64,
+        /// Trailing window width.
+        window_ns: u64,
+    },
+    /// SLO burn rate: windowed `numerator` deltas over windowed
+    /// `denominator` deltas (0 when the denominator saw no traffic),
+    /// compared to `ratio`.
+    BurnRate {
+        /// Bad-event series (e.g. `al.degraded_iteration`).
+        numerator: String,
+        /// Traffic series (e.g. `al.iteration.count`).
+        denominator: String,
+        /// Comparison.
+        cmp: Cmp,
+        /// Bound for the bad/traffic ratio.
+        ratio: f64,
+        /// Trailing window width.
+        window_ns: u64,
+    },
+}
+
+impl Condition {
+    /// The rule's primary series (exemplar + display).
+    pub fn series(&self) -> &str {
+        match self {
+            Condition::Threshold { series, .. }
+            | Condition::Absence { series, .. }
+            | Condition::RateOfChange { series, .. } => series,
+            Condition::BurnRate { numerator, .. } => numerator,
+        }
+    }
+
+    /// Evaluate at `now_ns`, returning `(condition holds, observed
+    /// value)`.
+    fn eval(&self, tsdb: &Tsdb, now_ns: u64) -> (bool, f64) {
+        match self {
+            Condition::Threshold {
+                series,
+                cmp,
+                value,
+                window_ns,
+            } => {
+                let sum = tsdb
+                    .window_sum(series, now_ns.saturating_sub(*window_ns), now_ns)
+                    .unwrap_or(0) as f64;
+                (cmp.eval(sum, *value), sum)
+            }
+            Condition::Absence { series, window_ns } => {
+                if now_ns < *window_ns {
+                    return (false, 0.0);
+                }
+                let fresh = tsdb.has_point_after(series, now_ns - *window_ns);
+                (!fresh, if fresh { 1.0 } else { 0.0 })
+            }
+            Condition::RateOfChange {
+                series,
+                cmp,
+                per_sec,
+                window_ns,
+            } => {
+                let sum = tsdb
+                    .window_sum(series, now_ns.saturating_sub(*window_ns), now_ns)
+                    .unwrap_or(0) as f64;
+                let rate = sum * 1e9 / (*window_ns).max(1) as f64;
+                (cmp.eval(rate, *per_sec), rate)
+            }
+            Condition::BurnRate {
+                numerator,
+                denominator,
+                cmp,
+                ratio,
+                window_ns,
+            } => {
+                let from = now_ns.saturating_sub(*window_ns);
+                let num = tsdb.window_sum(numerator, from, now_ns).unwrap_or(0) as f64;
+                let den = tsdb.window_sum(denominator, from, now_ns).unwrap_or(0) as f64;
+                let r = if den > 0.0 { num / den } else { 0.0 };
+                (cmp.eval(r, *ratio), r)
+            }
+        }
+    }
+}
+
+/// One alerting rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Rule name — the identity in transitions, `/alerts`, and traces.
+    pub name: String,
+    /// The tested condition.
+    pub condition: Condition,
+    /// Condition must hold this long before firing (0 = fire on first
+    /// true evaluation).
+    pub for_ns: u64,
+    /// Condition must stay clear this long before resolving (0 = resolve
+    /// on first false evaluation).
+    pub resolve_after_ns: u64,
+}
+
+impl Rule {
+    /// A rule with both hysteresis edges.
+    pub fn new(
+        name: impl Into<String>,
+        condition: Condition,
+        for_ns: u64,
+        resolve_after_ns: u64,
+    ) -> Self {
+        Rule {
+            name: name.into(),
+            condition,
+            for_ns,
+            resolve_after_ns,
+        }
+    }
+}
+
+/// Rule states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    /// Condition false (or never evaluated).
+    Inactive,
+    /// Condition true, waiting out `for_ns`.
+    Pending,
+    /// Alert active.
+    Firing,
+}
+
+impl AlertState {
+    /// Stable name for rendering.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlertState::Inactive => "inactive",
+            AlertState::Pending => "pending",
+            AlertState::Firing => "firing",
+        }
+    }
+}
+
+/// One state transition. `to` is the *edge* label: a firing rule whose
+/// condition cleared transitions with `to: "resolved"` (state returns to
+/// [`AlertState::Inactive`]); a pending rule whose condition cleared
+/// transitions with `to: "inactive"` (a cancelled pend, not a resolve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Rule name.
+    pub rule: String,
+    /// State left.
+    pub from: &'static str,
+    /// Edge label: `pending`, `firing`, `inactive`, or `resolved`.
+    pub to: &'static str,
+    /// Evaluation timestamp.
+    pub t_ns: u64,
+    /// Observed condition value at the transition.
+    pub value: f64,
+    /// Span exemplar of the rule's primary series, when one exists.
+    pub exemplar_span: Option<u64>,
+}
+
+/// Live view of one rule for `/alerts`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleSnapshot {
+    /// Rule name.
+    pub rule: String,
+    /// Current state.
+    pub state: AlertState,
+    /// When the current state was entered.
+    pub since_ns: u64,
+    /// Last observed condition value.
+    pub value: f64,
+}
+
+struct RuleRt {
+    state: AlertState,
+    since_ns: u64,
+    clear_since_ns: Option<u64>,
+    last_value: f64,
+}
+
+struct EngineInner {
+    states: Vec<RuleRt>,
+    transitions: VecDeque<Transition>,
+    evaluations: u64,
+}
+
+/// The rules engine. One instance holds a fixed rule set; state advances
+/// only through [`Engine::evaluate_at`].
+pub struct Engine {
+    rules: Vec<Rule>,
+    inner: Mutex<EngineInner>,
+}
+
+impl Engine {
+    /// An engine over `rules`, all rules inactive.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        let states = rules
+            .iter()
+            .map(|_| RuleRt {
+                state: AlertState::Inactive,
+                since_ns: 0,
+                clear_since_ns: None,
+                last_value: 0.0,
+            })
+            .collect();
+        Engine {
+            rules,
+            inner: Mutex::new(EngineInner {
+                states,
+                transitions: VecDeque::new(),
+                evaluations: 0,
+            }),
+        }
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Evaluate every rule against `tsdb` at `now_ns`, advancing state
+    /// machines and returning the transitions taken (rule order, which is
+    /// fixed). Each transition is also appended to the bounded in-engine
+    /// log and emitted as a schema-versioned `obs.alert` trace record.
+    pub fn evaluate_at(&self, tsdb: &Tsdb, now_ns: u64) -> Vec<Transition> {
+        let mut taken = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            inner.evaluations += 1;
+            for (rule, rt) in self.rules.iter().zip(inner.states.iter_mut()) {
+                let (holds, value) = rule.condition.eval(tsdb, now_ns);
+                rt.last_value = value;
+                let edge: Option<(&'static str, &'static str, AlertState)> = match rt.state {
+                    AlertState::Inactive if holds => {
+                        if rule.for_ns == 0 {
+                            Some(("inactive", "firing", AlertState::Firing))
+                        } else {
+                            Some(("inactive", "pending", AlertState::Pending))
+                        }
+                    }
+                    AlertState::Pending if !holds => {
+                        Some(("pending", "inactive", AlertState::Inactive))
+                    }
+                    AlertState::Pending if now_ns.saturating_sub(rt.since_ns) >= rule.for_ns => {
+                        Some(("pending", "firing", AlertState::Firing))
+                    }
+                    AlertState::Firing if !holds => {
+                        let clear_since = *rt.clear_since_ns.get_or_insert(now_ns);
+                        if now_ns.saturating_sub(clear_since) >= rule.resolve_after_ns {
+                            Some(("firing", "resolved", AlertState::Inactive))
+                        } else {
+                            None
+                        }
+                    }
+                    AlertState::Firing => {
+                        rt.clear_since_ns = None;
+                        None
+                    }
+                    _ => None,
+                };
+                if let Some((from, to, next)) = edge {
+                    rt.state = next;
+                    rt.since_ns = now_ns;
+                    rt.clear_since_ns = None;
+                    taken.push(Transition {
+                        rule: rule.name.clone(),
+                        from,
+                        to,
+                        t_ns: now_ns,
+                        value,
+                        exemplar_span: tsdb.exemplar(rule.condition.series()).map(|e| e.span_id),
+                    });
+                }
+            }
+            for t in &taken {
+                inner.transitions.push_back(t.clone());
+                while inner.transitions.len() > MAX_TRANSITIONS {
+                    inner.transitions.pop_front();
+                }
+            }
+        }
+        for t in &taken {
+            emit_transition(t);
+        }
+        taken
+    }
+
+    /// Rules currently firing.
+    pub fn firing_count(&self) -> usize {
+        self.inner
+            .lock()
+            .states
+            .iter()
+            .filter(|s| s.state == AlertState::Firing)
+            .count()
+    }
+
+    /// Per-rule live view, rule order.
+    pub fn snapshot(&self) -> Vec<RuleSnapshot> {
+        let inner = self.inner.lock();
+        self.rules
+            .iter()
+            .zip(inner.states.iter())
+            .map(|(r, rt)| RuleSnapshot {
+                rule: r.name.clone(),
+                state: rt.state,
+                since_ns: rt.since_ns,
+                value: rt.last_value,
+            })
+            .collect()
+    }
+
+    /// The bounded transition log, oldest first.
+    pub fn transitions(&self) -> Vec<Transition> {
+        self.inner.lock().transitions.iter().cloned().collect()
+    }
+
+    /// Evaluations performed.
+    pub fn evaluations(&self) -> u64 {
+        self.inner.lock().evaluations
+    }
+
+    /// Render the `/alerts` endpoint's JSON document.
+    pub fn to_json(&self) -> String {
+        let snap = self.snapshot();
+        let transitions = self.transitions();
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"schema\":\"alperf-alerts-v1\",\"installed\":true,\"firing\":{},\"rules\":[",
+            self.firing_count()
+        ));
+        for (i, r) in snap.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rule\":");
+            crate::json::escape_into(&mut out, &r.rule);
+            out.push_str(&format!(
+                ",\"state\":\"{}\",\"since_ns\":{},\"value\":{}}}",
+                r.state.as_str(),
+                r.since_ns,
+                crate::json::number(r.value)
+            ));
+        }
+        out.push_str("],\"transitions\":[");
+        for (i, t) in transitions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rule\":");
+            crate::json::escape_into(&mut out, &t.rule);
+            out.push_str(&format!(
+                ",\"from\":\"{}\",\"to\":\"{}\",\"t_ns\":{},\"value\":{}}}",
+                t.from,
+                t.to,
+                t.t_ns,
+                crate::json::number(t.value)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Emit one transition as a schema-versioned record into the
+/// alperf-obs-v1 trace (plus the transition counter). No-op when
+/// telemetry is disabled.
+fn emit_transition(t: &Transition) {
+    crate::inc(names::OBS_ALERT_TRANSITIONS);
+    let mut fields: Vec<(&str, Value<'_>)> = vec![
+        ("asv", Value::U64(ALERT_SCHEMA_VERSION)),
+        ("rule", Value::Str(&t.rule)),
+        ("from", Value::Str(t.from)),
+        ("to", Value::Str(t.to)),
+        ("t_ns", Value::U64(t.t_ns)),
+        ("value", Value::F64(t.value)),
+    ];
+    if let Some(span) = t.exemplar_span {
+        fields.push(("exemplar_span", Value::U64(span)));
+    }
+    crate::record(names::OBS_ALERT, &fields);
+}
+
+/// The stock fleet rule set: watchdog stalls, degraded-iteration SLO
+/// burn, retry pressure, and scraper liveness.
+pub fn default_rules() -> Vec<Rule> {
+    const S: u64 = 1_000_000_000;
+    vec![
+        Rule::new(
+            "watchdog_stall",
+            Condition::Threshold {
+                series: names::OBS_WATCHDOG_STALL.to_string(),
+                cmp: Cmp::Ge,
+                value: 1.0,
+                window_ns: 10 * S,
+            },
+            0,
+            0,
+        ),
+        Rule::new(
+            "degraded_burn",
+            Condition::BurnRate {
+                numerator: names::AL_DEGRADED_ITERATION.to_string(),
+                denominator: format!("{}.count", names::AL_ITERATION),
+                cmp: Cmp::Gt,
+                ratio: 0.5,
+                window_ns: 10 * S,
+            },
+            S,
+            5 * S,
+        ),
+        Rule::new(
+            "retry_pressure",
+            Condition::RateOfChange {
+                series: names::CLUSTER_RETRY.to_string(),
+                cmp: Cmp::Gt,
+                per_sec: 25.0,
+                window_ns: 5 * S,
+            },
+            S,
+            5 * S,
+        ),
+        Rule::new(
+            "scrape_liveness",
+            Condition::Absence {
+                series: names::OBS_TSDB_SCRAPES.to_string(),
+                window_ns: 30 * S,
+            },
+            0,
+            0,
+        ),
+    ]
+}
+
+// ---- global installation ----
+
+static ENGINE: Mutex<Option<Arc<Engine>>> = Mutex::new(None);
+static ENGINE_PRESENT: AtomicBool = AtomicBool::new(false);
+
+/// Install a process-global engine (the one `/alerts` serves and the
+/// scraper loop evaluates); returns the handle. Replaces any previous
+/// engine.
+pub fn install(rules: Vec<Rule>) -> Arc<Engine> {
+    let engine = Arc::new(Engine::new(rules));
+    *ENGINE.lock() = Some(Arc::clone(&engine));
+    ENGINE_PRESENT.store(true, Ordering::Relaxed);
+    engine
+}
+
+/// Remove the global engine.
+pub fn uninstall() {
+    ENGINE_PRESENT.store(false, Ordering::Relaxed);
+    ENGINE.lock().take();
+}
+
+/// Is a global engine installed?
+pub fn active() -> bool {
+    ENGINE_PRESENT.load(Ordering::Relaxed)
+}
+
+/// The global engine, if installed.
+pub fn global() -> Option<Arc<Engine>> {
+    if !active() {
+        return None;
+    }
+    ENGINE.lock().as_ref().map(Arc::clone)
+}
+
+/// Rules currently firing on the global engine (0 when none installed) —
+/// what `/health` folds into liveness.
+pub fn firing_count_global() -> usize {
+    global().map(|e| e.firing_count()).unwrap_or(0)
+}
+
+/// Evaluate the global engine against `tsdb` at `now_ns`, if installed.
+/// Called by the scraper loop after each scrape.
+pub fn evaluate_global(tsdb: &Tsdb, now_ns: u64) {
+    if let Some(engine) = global() {
+        engine.evaluate_at(tsdb, now_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::tsdb::TsdbConfig;
+
+    const S: u64 = 1_000_000_000;
+
+    fn threshold_rule(for_ns: u64, resolve_after_ns: u64) -> Rule {
+        Rule::new(
+            "unit.thresh",
+            Condition::Threshold {
+                series: "unit.alerts.hits".to_string(),
+                cmp: Cmp::Ge,
+                value: 3.0,
+                window_ns: 10 * S,
+            },
+            for_ns,
+            resolve_after_ns,
+        )
+    }
+
+    /// Scrape `reg` at `t` and evaluate, returning transitions.
+    fn tick(tsdb: &Tsdb, eng: &Engine, reg: &Registry, t: u64) -> Vec<Transition> {
+        tsdb.scrape_registry_at(reg, t);
+        eng.evaluate_at(tsdb, t)
+    }
+
+    #[test]
+    fn threshold_fires_and_resolves_through_pending() {
+        let reg = Registry::new();
+        let tsdb = Tsdb::new(TsdbConfig::default());
+        let eng = Engine::new(vec![threshold_rule(2 * S, S)]);
+        let c = reg.counter("unit.alerts.hits");
+        assert!(tick(&tsdb, &eng, &reg, S).is_empty(), "no data, no alert");
+        c.add(5);
+        let t1 = tick(&tsdb, &eng, &reg, 2 * S);
+        assert_eq!(t1.len(), 1);
+        assert_eq!((t1[0].from, t1[0].to), ("inactive", "pending"));
+        // Still inside for_ns.
+        assert!(tick(&tsdb, &eng, &reg, 3 * S).is_empty());
+        let t2 = tick(&tsdb, &eng, &reg, 4 * S);
+        assert_eq!((t2[0].from, t2[0].to), ("pending", "firing"));
+        assert_eq!(eng.firing_count(), 1);
+        // Window slides past the spike at t=12s+: condition clears, but
+        // resolve hysteresis holds for 1 s.
+        assert!(tick(&tsdb, &eng, &reg, 13 * S).is_empty());
+        let t3 = tick(&tsdb, &eng, &reg, 14 * S + 1);
+        assert_eq!((t3[0].from, t3[0].to), ("firing", "resolved"));
+        assert_eq!(eng.firing_count(), 0);
+        assert_eq!(eng.transitions().len(), 3);
+    }
+
+    #[test]
+    fn pending_cancels_when_condition_clears() {
+        let reg = Registry::new();
+        let tsdb = Tsdb::new(TsdbConfig::default());
+        let eng = Engine::new(vec![Rule::new(
+            "unit.cancel",
+            Condition::Threshold {
+                series: "unit.alerts.hits".to_string(),
+                cmp: Cmp::Ge,
+                value: 1.0,
+                window_ns: 2 * S,
+            },
+            10 * S,
+            0,
+        )]);
+        let c = reg.counter("unit.alerts.hits");
+        c.inc();
+        let t1 = tick(&tsdb, &eng, &reg, S);
+        assert_eq!((t1[0].from, t1[0].to), ("inactive", "pending"));
+        // Window slides past the single hit before for_ns elapses.
+        let t2 = tick(&tsdb, &eng, &reg, 5 * S);
+        assert_eq!((t2[0].from, t2[0].to), ("pending", "inactive"));
+    }
+
+    #[test]
+    fn zero_for_ns_fires_immediately() {
+        let reg = Registry::new();
+        let tsdb = Tsdb::new(TsdbConfig::default());
+        let eng = Engine::new(vec![threshold_rule(0, 0)]);
+        reg.counter("unit.alerts.hits").add(10);
+        let t = tick(&tsdb, &eng, &reg, S);
+        assert_eq!((t[0].from, t[0].to), ("inactive", "firing"));
+    }
+
+    #[test]
+    fn absence_waits_one_window_then_detects_darkness() {
+        let reg = Registry::new();
+        let tsdb = Tsdb::new(TsdbConfig::default());
+        let eng = Engine::new(vec![Rule::new(
+            "unit.absent",
+            Condition::Absence {
+                series: "unit.alerts.beat".to_string(),
+                window_ns: 5 * S,
+            },
+            0,
+            0,
+        )]);
+        let c = reg.counter("unit.alerts.beat");
+        c.inc();
+        assert!(tick(&tsdb, &eng, &reg, S).is_empty(), "startup grace");
+        assert!(tick(&tsdb, &eng, &reg, 4 * S).is_empty());
+        // Series last scraped at 4 s; evaluating without scraping at 10 s
+        // sees no point in (5 s, 10 s].
+        let t = eng.evaluate_at(&tsdb, 10 * S);
+        assert_eq!((t[0].from, t[0].to), ("inactive", "firing"));
+        // A fresh scrape recovers it.
+        let t = tick(&tsdb, &eng, &reg, 11 * S);
+        assert_eq!((t[0].from, t[0].to), ("firing", "resolved"));
+    }
+
+    #[test]
+    fn burn_rate_ratio_and_rate_of_change() {
+        let reg = Registry::new();
+        let tsdb = Tsdb::new(TsdbConfig::default());
+        let eng = Engine::new(vec![
+            Rule::new(
+                "unit.burn",
+                Condition::BurnRate {
+                    numerator: "unit.alerts.bad".to_string(),
+                    denominator: "unit.alerts.all".to_string(),
+                    cmp: Cmp::Gt,
+                    ratio: 0.5,
+                    window_ns: 10 * S,
+                },
+                0,
+                0,
+            ),
+            Rule::new(
+                "unit.rate",
+                Condition::RateOfChange {
+                    series: "unit.alerts.all".to_string(),
+                    cmp: Cmp::Gt,
+                    per_sec: 1.5,
+                    window_ns: 2 * S,
+                },
+                0,
+                0,
+            ),
+        ]);
+        let bad = reg.counter("unit.alerts.bad");
+        let all = reg.counter("unit.alerts.all");
+        all.add(4);
+        bad.add(1);
+        let t = tick(&tsdb, &eng, &reg, S);
+        // ratio 0.25 <= 0.5, rate 4/2s = 2.0 > 1.5.
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].rule, "unit.rate");
+        bad.add(9);
+        let t = tick(&tsdb, &eng, &reg, 2 * S);
+        assert!(t.iter().any(|x| x.rule == "unit.burn" && x.to == "firing"));
+    }
+
+    #[test]
+    fn transitions_carry_exemplars_from_histogram_series() {
+        let reg = Registry::new();
+        let tsdb = Tsdb::new(TsdbConfig::default());
+        let eng = Engine::new(vec![Rule::new(
+            "unit.ex",
+            Condition::Threshold {
+                series: "unit.alerts.span.count".to_string(),
+                cmp: Cmp::Ge,
+                value: 1.0,
+                window_ns: 10 * S,
+            },
+            0,
+            0,
+        )]);
+        reg.histogram("unit.alerts.span")
+            .record_with_exemplar(1_234, 77);
+        let t = tick(&tsdb, &eng, &reg, S);
+        assert_eq!(t[0].exemplar_span, Some(77));
+    }
+
+    #[test]
+    fn evaluation_is_replayable() {
+        let run = || {
+            let reg = Registry::new();
+            let tsdb = Tsdb::new(TsdbConfig::default());
+            let eng = Engine::new(default_rules());
+            let c = reg.counter(names::OBS_WATCHDOG_STALL);
+            let mut all = Vec::new();
+            for k in 1..40u64 {
+                if k == 7 || k == 8 {
+                    c.inc();
+                }
+                all.extend(tick(&tsdb, &eng, &reg, k * S));
+            }
+            all
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same timeline must replay bit-identically");
+        assert!(a
+            .iter()
+            .any(|t| t.rule == "watchdog_stall" && t.to == "firing"));
+        assert!(a
+            .iter()
+            .any(|t| t.rule == "watchdog_stall" && t.to == "resolved"));
+    }
+
+    #[test]
+    fn alerts_json_is_parseable() {
+        let eng = Engine::new(default_rules());
+        let j = crate::json::parse(&eng.to_json()).unwrap();
+        assert_eq!(
+            j.get("schema").and_then(crate::json::Json::as_str),
+            Some("alperf-alerts-v1")
+        );
+        assert_eq!(
+            j.get("firing").and_then(crate::json::Json::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn global_install_roundtrip() {
+        let _l = crate::tests::TEST_LOCK.lock();
+        assert!(!active());
+        assert_eq!(firing_count_global(), 0);
+        let e = install(default_rules());
+        assert!(active());
+        assert!(Arc::ptr_eq(&e, &global().unwrap()));
+        uninstall();
+        assert!(!active());
+    }
+}

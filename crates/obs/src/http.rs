@@ -1,4 +1,5 @@
-//! Minimal HTTP endpoint for live scraping: `/metrics` + `/health`.
+//! Minimal HTTP endpoint for live scraping: `/metrics`, `/query`,
+//! `/alerts`, `/health`.
 //!
 //! A std-`TcpListener` server — no framework, no async runtime — serving
 //! exactly what a Prometheus scraper (or a `curl` in CI) needs:
@@ -6,8 +7,15 @@
 //! * `GET /metrics` — the registry's text exposition
 //!   ([`crate::registry::Registry::prometheus_snapshot`]), rendered fresh
 //!   per request (`text/plain; version=0.0.4`).
-//! * `GET /health` — `ok` with the process's watched/flagged watchdog
-//!   counts, `200` while the process serves.
+//! * `GET /query?name=<series>&last_s=<n>&tier=<raw|10s|60s>` — a range
+//!   query against the installed [`crate::tsdb`] store
+//!   (`alperf-tsdb-query-v1` JSON); without `name`, the series list.
+//! * `GET /alerts` — the installed [`crate::alerts`] engine's rule states
+//!   and recent transitions (`alperf-alerts-v1` JSON).
+//! * `GET /health` — real liveness: `200 ok` plus watchdog watched/
+//!   stalled counts, the stalled key list, and the firing-alert count;
+//!   `503 stalled` when any watchdog key is stalled (append `?compat=1`
+//!   for the legacy always-200 behavior).
 //! * anything else — `404`.
 //!
 //! The accept loop runs on one background thread in non-blocking mode
@@ -132,7 +140,8 @@ fn handle_connection(mut stream: TcpStream) {
 }
 
 /// Dispatch one request to its response. Pure, so unit tests cover the
-/// routing table without sockets.
+/// routing table without sockets. The request target arrives with any
+/// query string still attached; it is split off here.
 fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
     if method != "GET" {
         return (
@@ -141,26 +150,142 @@ fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
             "method not allowed\n".into(),
         );
     }
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
     match path {
         "/metrics" => (
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
             crate::registry::global().prometheus_snapshot(),
         ),
-        "/health" => {
-            let wd = crate::watchdog::global();
-            (
+        "/query" => route_query(query),
+        "/alerts" => match crate::alerts::global() {
+            Some(engine) => ("200 OK", "application/json", engine.to_json()),
+            None => (
                 "200 OK",
-                "text/plain",
-                format!(
-                    "ok\nwatched {}\nstalled {}\n",
-                    wd.watched(),
-                    wd.flagged().len()
-                ),
-            )
-        }
+                "application/json",
+                "{\"schema\":\"alperf-alerts-v1\",\"installed\":false,\"firing\":0,\
+                 \"rules\":[],\"transitions\":[]}"
+                    .into(),
+            ),
+        },
+        "/health" => route_health(query),
         _ => ("404 Not Found", "text/plain", "not found\n".into()),
     }
+}
+
+/// `/health`: watchdog + alert liveness. Stalled watchdog keys flip the
+/// status to 503 unless the legacy `compat=1` flag asks for 200-only.
+fn route_health(query: &str) -> (&'static str, &'static str, String) {
+    let wd = crate::watchdog::global();
+    let stalled = wd.flagged();
+    let compat = query.split('&').any(|kv| kv == "compat=1");
+    let healthy = stalled.is_empty();
+    let mut body = String::with_capacity(96);
+    body.push_str(if healthy || compat {
+        "ok\n"
+    } else {
+        "stalled\n"
+    });
+    body.push_str(&format!(
+        "watched {}\nstalled {}\n",
+        wd.watched(),
+        stalled.len()
+    ));
+    for key in &stalled {
+        body.push_str(&format!("stalled_key {key}\n"));
+    }
+    body.push_str(&format!(
+        "alerts_firing {}\n",
+        crate::alerts::firing_count_global()
+    ));
+    if healthy || compat {
+        ("200 OK", "text/plain", body)
+    } else {
+        ("503 Service Unavailable", "text/plain", body)
+    }
+}
+
+/// `/query`: range queries against the installed tsdb.
+fn route_query(query: &str) -> (&'static str, &'static str, String) {
+    let Some(tsdb) = crate::tsdb::global() else {
+        return (
+            "200 OK",
+            "application/json",
+            "{\"schema\":\"alperf-tsdb-query-v1\",\"installed\":false}".into(),
+        );
+    };
+    let Some(name) = query_param(query, "name") else {
+        // No series named: list what the store holds.
+        let mut body = String::with_capacity(128);
+        body.push_str("{\"schema\":\"alperf-tsdb-series-v1\",\"installed\":true,\"series\":[");
+        for (i, s) in tsdb.series_names().iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            crate::json::escape_into(&mut body, s);
+        }
+        body.push_str("]}");
+        return ("200 OK", "application/json", body);
+    };
+    let last_s = query_param(query, "last_s")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(60);
+    let tier = query_param(query, "tier").and_then(|t| crate::tsdb::Tier::parse(&t));
+    let now = crate::clock::monotonic_ns();
+    let start = now.saturating_sub(last_s.saturating_mul(1_000_000_000));
+    match tsdb.query(&name, start, now, tier) {
+        Some(result) => ("200 OK", "application/json", result.to_json()),
+        None => (
+            "404 Not Found",
+            "application/json",
+            "{\"error\":\"unknown series\"}".into(),
+        ),
+    }
+}
+
+/// Extract and percent-decode one query-string parameter.
+fn query_param(query: &str, key: &str) -> Option<String> {
+    query.split('&').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == key).then(|| percent_decode(v))
+    })
+}
+
+/// Minimal percent-decoding (`%XX` + `+` as space) — enough for series
+/// names carrying label blocks like `name{k="v"}`.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 /// One-shot HTTP GET against `addr` with a std `TcpStream`: returns
@@ -196,14 +321,96 @@ mod tests {
 
     #[test]
     fn routes_cover_metrics_health_and_404() {
+        let _l = crate::tests::TEST_LOCK.lock();
         let (status, ct, _) = route("GET", "/metrics");
         assert_eq!(status, "200 OK");
         assert!(ct.starts_with("text/plain; version=0.0.4"));
         let (status, _, body) = route("GET", "/health");
         assert_eq!(status, "200 OK");
         assert!(body.starts_with("ok\n"));
+        assert!(body.contains("alerts_firing "));
         assert_eq!(route("GET", "/nope").0, "404 Not Found");
         assert_eq!(route("POST", "/metrics").0, "405 Method Not Allowed");
+    }
+
+    #[test]
+    fn health_reports_stalls_as_503_unless_compat() {
+        let _l = crate::tests::TEST_LOCK.lock();
+        let wd = crate::watchdog::global();
+        wd.beat("unit.http.stalled");
+        // Force the key stale against the system clock, then check.
+        wd.set_stall_after_ns(1);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        wd.check();
+        let (status, _, body) = route("GET", "/health");
+        assert_eq!(status, "503 Service Unavailable");
+        assert!(body.starts_with("stalled\n"));
+        assert!(body.contains("stalled_key unit.http.stalled"));
+        let (status, _, body) = route("GET", "/health?compat=1");
+        assert_eq!(status, "200 OK");
+        assert!(body.starts_with("ok\n"));
+        // Clear every flagged key (the 1 ns threshold may have tripped
+        // bystander keys beaten by other tests) and restore the default.
+        for key in wd.flagged() {
+            wd.clear(&key);
+        }
+        wd.set_stall_after_ns(crate::watchdog::DEFAULT_STALL_NS);
+        let (status, _, _) = route("GET", "/health");
+        assert_eq!(status, "200 OK");
+    }
+
+    #[test]
+    fn query_endpoint_serves_series_lists_and_ranges() {
+        let _l = crate::tests::TEST_LOCK.lock();
+        crate::tsdb::uninstall();
+        let (_, _, body) = route("GET", "/query?name=x");
+        assert!(body.contains("\"installed\":false"));
+        let tsdb = crate::tsdb::install(crate::tsdb::TsdbConfig::default());
+        let reg = crate::registry::Registry::new();
+        reg.counter("unit.http.series").add(3);
+        // Scrape at "now" so the default last_s=60 window covers it.
+        tsdb.scrape_registry_at(&reg, crate::clock::monotonic_ns());
+        let (status, ct, body) = route("GET", "/query");
+        assert_eq!(status, "200 OK");
+        assert_eq!(ct, "application/json");
+        assert!(body.contains("unit.http.series"));
+        let (status, _, body) = route("GET", "/query?name=unit.http.series&last_s=3600");
+        assert_eq!(status, "200 OK");
+        let j = crate::json::parse(&body).unwrap();
+        assert_eq!(
+            j.get("schema").and_then(crate::json::Json::as_str),
+            Some("alperf-tsdb-query-v1")
+        );
+        assert_eq!(
+            route("GET", "/query?name=unit.http.nope").0,
+            "404 Not Found"
+        );
+        crate::tsdb::uninstall();
+    }
+
+    #[test]
+    fn alerts_endpoint_reflects_installation() {
+        let _l = crate::tests::TEST_LOCK.lock();
+        crate::alerts::uninstall();
+        let (status, ct, body) = route("GET", "/alerts");
+        assert_eq!(status, "200 OK");
+        assert_eq!(ct, "application/json");
+        assert!(body.contains("\"installed\":false"));
+        crate::alerts::install(crate::alerts::default_rules());
+        let (_, _, body) = route("GET", "/alerts");
+        assert!(body.contains("\"installed\":true"));
+        assert!(body.contains("watchdog_stall"));
+        crate::alerts::uninstall();
+    }
+
+    #[test]
+    fn percent_decoding_handles_label_blocks() {
+        assert_eq!(percent_decode("a.b"), "a.b");
+        assert_eq!(
+            percent_decode("al.fit%7Btier%3D%22exact%22%7D"),
+            "al.fit{tier=\"exact\"}"
+        );
+        assert_eq!(percent_decode("a+b%2"), "a b%2");
     }
 
     #[test]

@@ -41,6 +41,8 @@
 //! ```
 
 pub mod aggregate;
+pub mod alerts;
+pub mod blackbox;
 pub mod clock;
 pub mod event;
 pub mod http;
@@ -52,9 +54,11 @@ pub mod profiler;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod tsdb;
 pub mod watchdog;
 
 pub use aggregate::{AggregateSnapshot, Aggregator, CampaignStats};
+pub use alerts::{AlertState, Condition, Engine as AlertEngine, Rule as AlertRule};
 pub use clock::{Clock, FakeClock, SystemClock};
 pub use event::{Event, MetaEvent, RecordEvent, SampleEvent, SpanEvent};
 pub use http::HttpServer;
@@ -63,6 +67,7 @@ pub use metrics::{Counter, HistStats, Histogram};
 pub use registry::Registry;
 pub use sink::Value;
 pub use span::{SpanCtx, SpanGuard};
+pub use tsdb::{ScraperHandle, Tsdb, TsdbConfig};
 pub use watchdog::{StallReport, Watchdog};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -168,12 +173,16 @@ pub fn current_span() -> Option<SpanCtx> {
 /// telemetry is disabled or no sink is installed. `fields` appear under
 /// the `"fields"` key of the emitted object. When a live aggregator is
 /// installed ([`aggregate::install`]) the record is also streamed into
-/// its rolling windows.
+/// its rolling windows, and when the black-box flight recorder is armed
+/// ([`blackbox::arm`]) the record is noted in this thread's ring.
 #[inline]
 pub fn record(name: &str, fields: &[(&str, Value<'_>)]) {
     if enabled() {
         sink::emit_record(name, fields);
         aggregate::observe_global(name, fields);
+        if blackbox::armed() {
+            blackbox::note_record(name);
+        }
     }
 }
 

@@ -55,6 +55,23 @@ pub const CLUSTER_FAULTS_BY_KIND: &str = "cluster.faults.by_kind";
 pub const GP_FITS_BY_TIER: &str = "gp.fits.by_tier";
 /// Labeled family (`tier`): pool points predicted per tier.
 pub const GP_PREDICT_POINTS_BY_TIER: &str = "gp.predict.points.by_tier";
+/// Counter: registry scrapes performed by the tsdb scraper.
+pub const OBS_TSDB_SCRAPES: &str = "obs.tsdb.scrapes";
+/// Counter: ring-buffer points evicted by the tsdb to stay bounded.
+pub const OBS_TSDB_POINTS_EVICTED: &str = "obs.tsdb.points_evicted";
+/// Counter: series dropped because the tsdb hit its series cap (the
+/// tsdb-side mirror of the labels `_overflow` accounting).
+pub const OBS_TSDB_SERIES_OVERFLOW: &str = "obs.tsdb.series_overflow";
+/// Record: one alert state transition (schema-versioned via its `asv`
+/// field; see `alerts::ALERT_SCHEMA_VERSION`).
+pub const OBS_ALERT: &str = "obs.alert";
+/// Counter: alert state transitions emitted by the rules engine.
+pub const OBS_ALERT_TRANSITIONS: &str = "obs.alerts.transitions";
+/// Counter: campaign windows evicted from the live aggregator (count cap
+/// or clock-based TTL).
+pub const OBS_AGGREGATE_EVICTIONS: &str = "obs.aggregate.evictions";
+/// Counter: black-box flight-recorder dumps written.
+pub const OBS_BLACKBOX_DUMPS: &str = "obs.blackbox.dumps";
 
 /// Label key: campaign / run id.
 pub const LABEL_CAMPAIGN: &str = "campaign";

@@ -104,6 +104,17 @@ impl Registry {
             .collect()
     }
 
+    /// All histograms as `(name, handle)`, name-sorted — for consumers
+    /// (the tsdb scraper) that need more than [`HistStats`], e.g. the
+    /// span exemplar.
+    pub fn histogram_handles(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
     /// All labeled counter families, name-sorted.
     pub fn counter_vecs_snapshot(&self) -> Vec<Arc<CounterVec>> {
         self.counter_vecs.read().values().map(Arc::clone).collect()

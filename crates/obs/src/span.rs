@@ -42,17 +42,18 @@ thread_local! {
 }
 
 /// Record `dur` into the histogram for span `name`, via the thread-local
-/// handle cache (no Arc clone on the hit path).
-fn record_span_duration(name: &'static str, dur: u64) {
+/// handle cache (no Arc clone on the hit path). The span's id rides along
+/// as the histogram's exemplar, linking the metric back into the trace.
+fn record_span_duration(name: &'static str, dur: u64, span_id: u64) {
     HIST_CACHE.with(|c| {
         let mut cache = c.borrow_mut();
         let key = name.as_ptr() as usize;
         if let Some((_, h)) = cache.iter().find(|(k, _)| *k == key) {
-            h.record(dur);
+            h.record_with_exemplar(dur, span_id);
             return;
         }
         let h = crate::registry::global().histogram(name);
-        h.record(dur);
+        h.record_with_exemplar(dur, span_id);
         cache.push((key, h));
     })
 }
@@ -175,7 +176,16 @@ impl Drop for SpanGuard {
             Parent::Stack => stack_parent,
             Parent::Explicit(p) => p,
         };
-        record_span_duration(self.name, dur);
+        record_span_duration(self.name, dur, self.id);
+        if crate::blackbox::armed() {
+            crate::blackbox::note_span(
+                self.name,
+                self.id,
+                parent.map(|c| c.id).unwrap_or(0),
+                self.start_ns,
+                dur,
+            );
+        }
         crate::sink::emit_span(self.name, self.id, parent, self.start_ns, dur);
     }
 }

@@ -1,0 +1,821 @@
+//! Embedded time-series store over the metric registry.
+//!
+//! The registry answers "what is the counter's value *now*"; this module
+//! answers "what has it been doing". A scraper (background thread, or a
+//! test driving [`Tsdb::scrape_registry_at`] with fabricated timestamps)
+//! walks every registered counter, histogram, and labeled family, and
+//! appends the **delta since the previous scrape** to a fixed-capacity
+//! ring-buffered series per metric. Histograms contribute two series —
+//! `<name>.count` and `<name>.sum` — so rates and means over time fall
+//! out of plain counter arithmetic.
+//!
+//! Retention is log-structured: every series keeps a raw ring (one point
+//! per scrape) plus 10 s and 60 s rollup rings. A rollup bucket
+//! accumulates raw deltas and is flushed to its ring when a scrape
+//! crosses the bucket boundary, so coarser tiers retain proportionally
+//! longer history in the same bounded memory. All bounds are explicit
+//! and accounted: evicted ring points count into
+//! [`crate::names::OBS_TSDB_POINTS_EVICTED`], and series beyond the
+//! [`TsdbConfig::max_series`] cap are dropped (never silently created)
+//! and counted into [`crate::names::OBS_TSDB_SERIES_OVERFLOW`] — the
+//! same philosophy as the labels cardinality cap.
+//!
+//! Determinism contract: a scrape is a pure function of (registry state,
+//! `now_ns`, prior tsdb state). The store never feeds back into any
+//! computation; under a [`crate::FakeClock`]-style fabricated timeline
+//! the full contents — and everything the alert engine derives from them
+//! — replay bit-identically.
+
+use crate::clock::monotonic_ns;
+use crate::labels::render_label_block;
+use crate::names;
+use crate::registry::Registry;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default scraper cadence.
+pub const DEFAULT_SCRAPE_INTERVAL_MS: u64 = 250;
+/// Default raw-ring capacity (points per series).
+pub const DEFAULT_RAW_CAPACITY: usize = 512;
+/// Default rollup-ring capacity (buckets per tier per series).
+pub const DEFAULT_ROLLUP_CAPACITY: usize = 256;
+/// Default series cap across the whole store.
+pub const DEFAULT_MAX_SERIES: usize = 512;
+/// Width of the first rollup tier.
+pub const TIER_10S_NS: u64 = 10_000_000_000;
+/// Width of the second rollup tier.
+pub const TIER_60S_NS: u64 = 60_000_000_000;
+
+/// Retention tiers, finest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// One point per scrape.
+    Raw,
+    /// 10-second rollup buckets.
+    R10s,
+    /// 60-second rollup buckets.
+    R60s,
+}
+
+impl Tier {
+    /// Stable name used by `/query` and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Tier::Raw => "raw",
+            Tier::R10s => "10s",
+            Tier::R60s => "60s",
+        }
+    }
+
+    /// Parse a tier name (the inverse of [`Tier::as_str`]).
+    pub fn parse(s: &str) -> Option<Tier> {
+        match s {
+            "raw" => Some(Tier::Raw),
+            "10s" => Some(Tier::R10s),
+            "60s" => Some(Tier::R60s),
+            _ => None,
+        }
+    }
+}
+
+/// One retained sample: the delta accumulated in this point's interval
+/// plus the cumulative total at its end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Point {
+    /// Sample time: the scrape instant (raw) or the bucket start
+    /// (rollups).
+    pub t_ns: u64,
+    /// Value increase inside this point's interval.
+    pub delta: u64,
+    /// Cumulative value at the end of the interval.
+    pub total: u64,
+}
+
+/// A span exemplar attached to a histogram-derived series: the id of the
+/// most recent span whose duration was observed into the histogram, which
+/// links a query/alert result back into the trace and flamegraph
+/// pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Span id of the latest exemplar observation.
+    pub span_id: u64,
+    /// The observed value (nanoseconds for span histograms).
+    pub value: u64,
+}
+
+/// Store geometry and bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct TsdbConfig {
+    /// Raw-ring points retained per series.
+    pub raw_capacity: usize,
+    /// Rollup-ring buckets retained per tier per series.
+    pub rollup_capacity: usize,
+    /// Maximum series tracked; further series are dropped and counted.
+    pub max_series: usize,
+}
+
+impl Default for TsdbConfig {
+    fn default() -> Self {
+        TsdbConfig {
+            raw_capacity: DEFAULT_RAW_CAPACITY,
+            rollup_capacity: DEFAULT_ROLLUP_CAPACITY,
+            max_series: DEFAULT_MAX_SERIES,
+        }
+    }
+}
+
+/// An open (not yet flushed) rollup bucket.
+struct OpenBucket {
+    start_ns: u64,
+    delta: u64,
+    total: u64,
+}
+
+#[derive(Default)]
+struct Series {
+    raw: VecDeque<Point>,
+    r10: VecDeque<Point>,
+    r60: VecDeque<Point>,
+    b10: Option<OpenBucket>,
+    b60: Option<OpenBucket>,
+    last_total: u64,
+    exemplar: Option<Exemplar>,
+}
+
+#[derive(Default)]
+struct Inner {
+    series: BTreeMap<String, Series>,
+    scrapes: u64,
+    last_scrape_ns: u64,
+    points_evicted: u64,
+    series_overflow: u64,
+}
+
+/// Store-level accounting counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TsdbStats {
+    /// Series currently tracked.
+    pub series: usize,
+    /// Scrapes performed.
+    pub scrapes: u64,
+    /// Time of the most recent scrape.
+    pub last_scrape_ns: u64,
+    /// Ring points evicted (all tiers).
+    pub points_evicted: u64,
+    /// Series dropped at the cap.
+    pub series_overflow: u64,
+}
+
+/// One range-query answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// The series name queried.
+    pub name: String,
+    /// Tier the points came from.
+    pub tier: Tier,
+    /// Points with `start_ns <= t_ns <= end_ns`, time-ordered.
+    pub points: Vec<Point>,
+    /// Latest span exemplar for histogram-derived series.
+    pub exemplar: Option<Exemplar>,
+}
+
+impl QueryResult {
+    /// Render as the `/query` endpoint's JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.points.len() * 48);
+        out.push_str("{\"schema\":\"alperf-tsdb-query-v1\",\"name\":");
+        crate::json::escape_into(&mut out, &self.name);
+        out.push_str(&format!(",\"tier\":\"{}\"", self.tier.as_str()));
+        if let Some(ex) = self.exemplar {
+            out.push_str(&format!(
+                ",\"exemplar\":{{\"span_id\":{},\"value\":{}}}",
+                ex.span_id, ex.value
+            ));
+        }
+        out.push_str(",\"points\":[");
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"t_ns\":{},\"delta\":{},\"total\":{}}}",
+                p.t_ns, p.delta, p.total
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The embedded time-series store. All methods take `&self`; state lives
+/// behind one mutex (scrapes are rare — hundreds of ms apart — and
+/// queries are human/CI-speed).
+pub struct Tsdb {
+    config: TsdbConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Tsdb {
+    fn default() -> Self {
+        Tsdb::new(TsdbConfig::default())
+    }
+}
+
+impl Tsdb {
+    /// An empty store with the given bounds.
+    pub fn new(config: TsdbConfig) -> Self {
+        Tsdb {
+            config: TsdbConfig {
+                raw_capacity: config.raw_capacity.max(1),
+                rollup_capacity: config.rollup_capacity.max(1),
+                max_series: config.max_series.max(1),
+            },
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The configured bounds.
+    pub fn config(&self) -> TsdbConfig {
+        self.config
+    }
+
+    /// Scrape the global registry at the current monotonic time.
+    pub fn scrape(&self) {
+        self.scrape_registry_at(crate::registry::global(), monotonic_ns());
+    }
+
+    /// Scrape `registry` at an explicit time — the deterministic entry
+    /// point tests drive with fabricated timestamps. Also bumps the
+    /// tsdb's own accounting counters *in the scraped registry*, so the
+    /// store's health is visible through the pipeline it feeds.
+    pub fn scrape_registry_at(&self, registry: &Registry, now_ns: u64) {
+        // Bump before snapshotting so the scrape counter's own series
+        // includes this scrape.
+        registry.counter(names::OBS_TSDB_SCRAPES).inc();
+        let counters = registry.counters_snapshot();
+        let histograms = registry.histogram_handles();
+        let counter_vecs = registry.counter_vecs_snapshot();
+        let histogram_vecs = registry.histogram_vecs_snapshot();
+
+        let (evicted_before, overflow_before);
+        {
+            let mut inner = self.inner.lock();
+            evicted_before = inner.points_evicted;
+            overflow_before = inner.series_overflow;
+            inner.scrapes += 1;
+            inner.last_scrape_ns = now_ns;
+            let cfg = self.config;
+            for (name, value) in counters {
+                observe(&mut inner, &cfg, now_ns, name, value, None);
+            }
+            for (name, h) in histograms {
+                let stats = h.stats();
+                let ex = h
+                    .exemplar_pair()
+                    .map(|(span_id, value)| Exemplar { span_id, value });
+                observe(
+                    &mut inner,
+                    &cfg,
+                    now_ns,
+                    format!("{name}.count"),
+                    stats.count,
+                    ex,
+                );
+                observe(
+                    &mut inner,
+                    &cfg,
+                    now_ns,
+                    format!("{name}.sum"),
+                    stats.sum,
+                    ex,
+                );
+            }
+            for fam in counter_vecs {
+                for (values, value) in fam.snapshot() {
+                    let lbl = render_label_block(fam.keys(), &values, None);
+                    observe(
+                        &mut inner,
+                        &cfg,
+                        now_ns,
+                        format!("{}{lbl}", fam.name()),
+                        value,
+                        None,
+                    );
+                }
+            }
+            for fam in histogram_vecs {
+                for (values, stats) in fam.snapshot() {
+                    let lbl = render_label_block(fam.keys(), &values, None);
+                    observe(
+                        &mut inner,
+                        &cfg,
+                        now_ns,
+                        format!("{}{lbl}.count", fam.name()),
+                        stats.count,
+                        None,
+                    );
+                    observe(
+                        &mut inner,
+                        &cfg,
+                        now_ns,
+                        format!("{}{lbl}.sum", fam.name()),
+                        stats.sum,
+                        None,
+                    );
+                }
+            }
+            let (e, o) = (
+                inner.points_evicted - evicted_before,
+                inner.series_overflow - overflow_before,
+            );
+            drop(inner);
+            // Mirror this scrape's accounting deltas into the scraped
+            // registry (they appear from the next scrape on).
+            if e > 0 {
+                registry.counter(names::OBS_TSDB_POINTS_EVICTED).add(e);
+            }
+            if o > 0 {
+                registry.counter(names::OBS_TSDB_SERIES_OVERFLOW).add(o);
+            }
+        }
+    }
+
+    /// Store-level accounting.
+    pub fn stats(&self) -> TsdbStats {
+        let inner = self.inner.lock();
+        TsdbStats {
+            series: inner.series.len(),
+            scrapes: inner.scrapes,
+            last_scrape_ns: inner.last_scrape_ns,
+            points_evicted: inner.points_evicted,
+            series_overflow: inner.series_overflow,
+        }
+    }
+
+    /// All tracked series names, sorted.
+    pub fn series_names(&self) -> Vec<String> {
+        self.inner.lock().series.keys().cloned().collect()
+    }
+
+    /// Range query: points of `name` with `start_ns <= t <= end_ns` from
+    /// `tier`, or — when `tier` is `None` — from the finest tier whose
+    /// retained history still reaches back to `start_ns` (falling back to
+    /// the coarsest non-empty tier when none does). `None` when the
+    /// series is unknown.
+    pub fn query(
+        &self,
+        name: &str,
+        start_ns: u64,
+        end_ns: u64,
+        tier: Option<Tier>,
+    ) -> Option<QueryResult> {
+        let inner = self.inner.lock();
+        let s = inner.series.get(name)?;
+        let pick = tier.unwrap_or_else(|| {
+            let covers =
+                |ring: &VecDeque<Point>| ring.front().map(|p| p.t_ns <= start_ns).unwrap_or(false);
+            if covers(&s.raw) {
+                Tier::Raw
+            } else if covers(&s.r10) {
+                Tier::R10s
+            } else if !s.r60.is_empty() {
+                // Covering r60 implies non-empty, so one test picks the
+                // coarsest tier whether it covers the start or merely
+                // retains the longest history.
+                Tier::R60s
+            } else if !s.r10.is_empty() {
+                Tier::R10s
+            } else {
+                Tier::Raw
+            }
+        });
+        let ring = match pick {
+            Tier::Raw => &s.raw,
+            Tier::R10s => &s.r10,
+            Tier::R60s => &s.r60,
+        };
+        Some(QueryResult {
+            name: name.to_string(),
+            tier: pick,
+            points: ring
+                .iter()
+                .filter(|p| p.t_ns >= start_ns && p.t_ns <= end_ns)
+                .copied()
+                .collect(),
+            exemplar: s.exemplar,
+        })
+    }
+
+    /// Sum of raw deltas in the half-open window `(from_ns, to_ns]` — the
+    /// alert engine's workhorse. `None` when the series is unknown.
+    pub fn window_sum(&self, name: &str, from_ns: u64, to_ns: u64) -> Option<u64> {
+        let inner = self.inner.lock();
+        let s = inner.series.get(name)?;
+        Some(
+            s.raw
+                .iter()
+                .filter(|p| p.t_ns > from_ns && p.t_ns <= to_ns)
+                .map(|p| p.delta)
+                .sum(),
+        )
+    }
+
+    /// Does `name` have any raw point strictly newer than `after_ns`?
+    /// (The absence-rule primitive.)
+    pub fn has_point_after(&self, name: &str, after_ns: u64) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .series
+            .get(name)
+            .map(|s| s.raw.back().map(|p| p.t_ns > after_ns).unwrap_or(false))
+            .unwrap_or(false)
+    }
+
+    /// The cumulative total at the latest scrape, if the series exists.
+    pub fn last_total(&self, name: &str) -> Option<u64> {
+        self.inner.lock().series.get(name).map(|s| s.last_total)
+    }
+
+    /// Latest span exemplar for `name` (histogram-derived series only).
+    pub fn exemplar(&self, name: &str) -> Option<Exemplar> {
+        self.inner.lock().series.get(name).and_then(|s| s.exemplar)
+    }
+}
+
+/// Record one scraped cumulative `value` for `name` at `now_ns`.
+fn observe(
+    inner: &mut Inner,
+    cfg: &TsdbConfig,
+    now_ns: u64,
+    name: String,
+    value: u64,
+    exemplar: Option<Exemplar>,
+) {
+    if !inner.series.contains_key(&name) {
+        if inner.series.len() >= cfg.max_series {
+            inner.series_overflow += 1;
+            return;
+        }
+        inner.series.insert(name.clone(), Series::default());
+    }
+    let mut evicted = 0u64;
+    let s = inner.series.get_mut(&name).expect("just ensured");
+    // A counter reset (value went backwards) restarts the delta base.
+    let delta = value.saturating_sub(s.last_total.min(value));
+    s.last_total = value;
+    if let Some(ex) = exemplar {
+        s.exemplar = Some(ex);
+    }
+    push_ring(
+        &mut s.raw,
+        Point {
+            t_ns: now_ns,
+            delta,
+            total: value,
+        },
+        cfg.raw_capacity,
+        &mut evicted,
+    );
+    roll(
+        &mut s.b10,
+        &mut s.r10,
+        TIER_10S_NS,
+        now_ns,
+        delta,
+        value,
+        cfg.rollup_capacity,
+        &mut evicted,
+    );
+    roll(
+        &mut s.b60,
+        &mut s.r60,
+        TIER_60S_NS,
+        now_ns,
+        delta,
+        value,
+        cfg.rollup_capacity,
+        &mut evicted,
+    );
+    inner.points_evicted += evicted;
+}
+
+fn push_ring(ring: &mut VecDeque<Point>, p: Point, cap: usize, evicted: &mut u64) {
+    ring.push_back(p);
+    while ring.len() > cap {
+        ring.pop_front();
+        *evicted += 1;
+    }
+}
+
+/// Accumulate a raw delta into the open bucket of one rollup tier,
+/// flushing the bucket to its ring when the scrape crossed the boundary.
+#[allow(clippy::too_many_arguments)]
+fn roll(
+    bucket: &mut Option<OpenBucket>,
+    ring: &mut VecDeque<Point>,
+    width_ns: u64,
+    now_ns: u64,
+    delta: u64,
+    total: u64,
+    cap: usize,
+    evicted: &mut u64,
+) {
+    let start = now_ns / width_ns * width_ns;
+    match bucket {
+        Some(b) if start <= b.start_ns => {
+            b.delta += delta;
+            b.total = total;
+        }
+        Some(b) => {
+            push_ring(
+                ring,
+                Point {
+                    t_ns: b.start_ns,
+                    delta: b.delta,
+                    total: b.total,
+                },
+                cap,
+                evicted,
+            );
+            *bucket = Some(OpenBucket {
+                start_ns: start,
+                delta,
+                total,
+            });
+        }
+        None => {
+            *bucket = Some(OpenBucket {
+                start_ns: start,
+                delta,
+                total,
+            });
+        }
+    }
+}
+
+// ---- background scraper ----
+
+/// A running background scraper. Dropping (or [`ScraperHandle::stop`])
+/// stops and joins the thread.
+pub struct ScraperHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ScraperHandle {
+    /// Stop the scraper thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ScraperHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Start a background thread scraping the global registry into `tsdb`
+/// every `interval`, and — when an alert engine is installed
+/// ([`crate::alerts::install`]) — evaluating it against the store on the
+/// same timestamp, so one loop drives both retention and alerting.
+pub fn start_scraper(tsdb: Arc<Tsdb>, interval: Duration) -> ScraperHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name("alperf-tsdb-scraper".into())
+        .spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                let now = monotonic_ns();
+                tsdb.scrape_registry_at(crate::registry::global(), now);
+                crate::alerts::evaluate_global(&tsdb, now);
+                std::thread::sleep(interval);
+            }
+        })
+        .expect("spawn tsdb scraper thread");
+    ScraperHandle {
+        stop,
+        join: Some(join),
+    }
+}
+
+// ---- global installation ----
+
+static TSDB: Mutex<Option<Arc<Tsdb>>> = Mutex::new(None);
+static TSDB_PRESENT: AtomicBool = AtomicBool::new(false);
+
+/// Install a process-global store (the one `/query` serves and the alert
+/// engine is evaluated against); returns the handle. Replaces any
+/// previous store.
+pub fn install(config: TsdbConfig) -> Arc<Tsdb> {
+    let tsdb = Arc::new(Tsdb::new(config));
+    *TSDB.lock() = Some(Arc::clone(&tsdb));
+    TSDB_PRESENT.store(true, Ordering::Relaxed);
+    tsdb
+}
+
+/// Remove the global store.
+pub fn uninstall() {
+    TSDB_PRESENT.store(false, Ordering::Relaxed);
+    TSDB.lock().take();
+}
+
+/// Is a global store installed?
+pub fn active() -> bool {
+    TSDB_PRESENT.load(Ordering::Relaxed)
+}
+
+/// The global store, if installed.
+pub fn global() -> Option<Arc<Tsdb>> {
+    if !active() {
+        return None;
+    }
+    TSDB.lock().as_ref().map(Arc::clone)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u64 = 1_000_000_000;
+
+    #[test]
+    fn deltas_and_totals_conserve() {
+        let r = Registry::new();
+        let t = Tsdb::new(TsdbConfig::default());
+        let c = r.counter("unit.tsdb.hits");
+        c.add(3);
+        t.scrape_registry_at(&r, S);
+        c.add(4);
+        t.scrape_registry_at(&r, 2 * S);
+        t.scrape_registry_at(&r, 3 * S);
+        let q = t
+            .query("unit.tsdb.hits", 0, u64::MAX, Some(Tier::Raw))
+            .unwrap();
+        let deltas: Vec<u64> = q.points.iter().map(|p| p.delta).collect();
+        assert_eq!(deltas, vec![3, 4, 0]);
+        assert_eq!(t.last_total("unit.tsdb.hits"), Some(7));
+        assert_eq!(t.window_sum("unit.tsdb.hits", S, 3 * S), Some(4));
+    }
+
+    #[test]
+    fn histograms_contribute_count_and_sum_series() {
+        let r = Registry::new();
+        let t = Tsdb::new(TsdbConfig::default());
+        let h = r.histogram("unit.tsdb.h");
+        h.record(10);
+        h.record(32);
+        t.scrape_registry_at(&r, S);
+        assert_eq!(t.last_total("unit.tsdb.h.count"), Some(2));
+        assert_eq!(t.last_total("unit.tsdb.h.sum"), Some(42));
+    }
+
+    #[test]
+    fn labeled_families_become_labeled_series() {
+        let r = Registry::new();
+        let t = Tsdb::new(TsdbConfig::default());
+        r.counter_vec("unit.tsdb.fam", &["k"]).with(&["a"]).add(5);
+        t.scrape_registry_at(&r, S);
+        assert_eq!(t.last_total("unit.tsdb.fam{k=\"a\"}"), Some(5));
+    }
+
+    #[test]
+    fn rollups_flush_on_boundary_and_accumulate() {
+        let r = Registry::new();
+        let t = Tsdb::new(TsdbConfig::default());
+        let c = r.counter("unit.tsdb.roll");
+        // 4 scrapes inside the first 10 s bucket, then one past it.
+        for k in 0..4u64 {
+            c.add(2);
+            t.scrape_registry_at(&r, k * 2 * S);
+        }
+        c.add(1);
+        t.scrape_registry_at(&r, 11 * S);
+        let q = t
+            .query("unit.tsdb.roll", 0, u64::MAX, Some(Tier::R10s))
+            .unwrap();
+        assert_eq!(q.points.len(), 1, "first bucket flushed");
+        assert_eq!(
+            q.points[0],
+            Point {
+                t_ns: 0,
+                delta: 8,
+                total: 8
+            }
+        );
+        // 60 s bucket still open.
+        assert!(t
+            .query("unit.tsdb.roll", 0, u64::MAX, Some(Tier::R60s))
+            .unwrap()
+            .points
+            .is_empty());
+    }
+
+    #[test]
+    fn rings_evict_and_account() {
+        let r = Registry::new();
+        let t = Tsdb::new(TsdbConfig {
+            raw_capacity: 4,
+            rollup_capacity: 2,
+            max_series: 8,
+        });
+        let c = r.counter("unit.tsdb.evict");
+        for k in 0..10u64 {
+            c.inc();
+            t.scrape_registry_at(&r, k * S);
+        }
+        let q = t
+            .query("unit.tsdb.evict", 0, u64::MAX, Some(Tier::Raw))
+            .unwrap();
+        assert_eq!(q.points.len(), 4, "raw ring bounded");
+        assert_eq!(q.points.last().unwrap().total, 10);
+        assert!(t.stats().points_evicted > 0);
+        // Accounting mirrored into the scraped registry.
+        assert!(r.counter(names::OBS_TSDB_POINTS_EVICTED).get() > 0);
+    }
+
+    #[test]
+    fn series_cap_drops_and_counts_overflow() {
+        let r = Registry::new();
+        let t = Tsdb::new(TsdbConfig {
+            raw_capacity: 8,
+            rollup_capacity: 8,
+            max_series: 3,
+        });
+        for i in 0..6 {
+            r.counter(&format!("unit.tsdb.cap.{i}")).inc();
+        }
+        t.scrape_registry_at(&r, S);
+        let stats = t.stats();
+        assert_eq!(stats.series, 3);
+        assert!(stats.series_overflow > 0);
+        assert!(r.counter(names::OBS_TSDB_SERIES_OVERFLOW).get() > 0);
+    }
+
+    #[test]
+    fn auto_tier_prefers_finest_that_covers() {
+        let r = Registry::new();
+        let t = Tsdb::new(TsdbConfig {
+            raw_capacity: 2,
+            rollup_capacity: 16,
+            max_series: 64,
+        });
+        let c = r.counter("unit.tsdb.auto");
+        for k in 0..8u64 {
+            c.inc();
+            t.scrape_registry_at(&r, k * 11 * S); // each scrape a new 10 s bucket
+        }
+        // Raw retains only the last 2 points; an old start must fall back
+        // to the 10 s tier.
+        let q = t.query("unit.tsdb.auto", 0, u64::MAX, None).unwrap();
+        assert_eq!(q.tier, Tier::R10s);
+        let recent = t
+            .query("unit.tsdb.auto", 7 * 11 * S, u64::MAX, None)
+            .unwrap();
+        assert_eq!(recent.tier, Tier::Raw);
+    }
+
+    #[test]
+    fn query_json_is_parseable() {
+        let r = Registry::new();
+        let t = Tsdb::new(TsdbConfig::default());
+        r.counter("unit.tsdb.json").add(2);
+        t.scrape_registry_at(&r, S);
+        let q = t.query("unit.tsdb.json", 0, u64::MAX, None).unwrap();
+        let j = crate::json::parse(&q.to_json()).unwrap();
+        assert_eq!(
+            j.get("schema").and_then(crate::json::Json::as_str),
+            Some("alperf-tsdb-query-v1")
+        );
+        assert_eq!(
+            j.get("points").and_then(|p| match p {
+                crate::json::Json::Arr(a) => Some(a.len()),
+                _ => None,
+            }),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn install_uninstall_roundtrip() {
+        let _l = crate::tests::TEST_LOCK.lock();
+        assert!(!active());
+        let t = install(TsdbConfig::default());
+        assert!(active());
+        assert!(Arc::ptr_eq(&t, &global().unwrap()));
+        uninstall();
+        assert!(!active());
+        assert!(global().is_none());
+    }
+}

@@ -25,6 +25,10 @@
 //!   compatible with inferno / speedscope / `flamegraph.pl`.
 //! * [`diff`] — cross-run per-span-name comparison with seeded bootstrap
 //!   confidence intervals; flags statistically significant regressions.
+//! * [`postmortem`] — `alperf-blackbox-v1` flight-recorder dump reader
+//!   with a *lenient* tree builder (ring overwrite orphans spans, so
+//!   orphans render as roots instead of erroring) for last-seconds
+//!   crash forensics.
 //!
 //! No external dependencies: JSON comes from `alperf_obs::json`, the
 //! bootstrap RNG is the workspace's deterministic `StdRng`.
@@ -32,6 +36,7 @@
 pub mod analyze;
 pub mod diff;
 pub mod folded;
+pub mod postmortem;
 pub mod reader;
 pub mod tree;
 
@@ -44,5 +49,6 @@ pub use diff::{
     significant_regressions, DiffConfig, SpanDiff,
 };
 pub use folded::{folded_stacks, sampled_stacks};
+pub use postmortem::{read_dump, Postmortem};
 pub use reader::{read_path, read_trace, Trace, TraceError};
 pub use tree::{SpanForest, SpanNode, TreeError};
