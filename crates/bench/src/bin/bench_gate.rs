@@ -1,10 +1,10 @@
 //! CI perf-regression gate over the benchmarked hot paths.
 //!
 //! Usage:
-//!   bench_gate [--suite obs|fit|scale] [--baseline <path>] [--tolerance <pct>] [--quick] [--json]
-//!   bench_gate --update-baseline [--suite obs|fit|scale] [--baseline <path>] [--quick]
+//!   bench_gate [--suite obs|fit|scale|grid] [--baseline <path>] [--tolerance <pct>] [--quick] [--json]
+//!   bench_gate --update-baseline [--suite obs|fit|scale|grid] [--baseline <path>] [--quick]
 //!
-//! Three suites share the `alperf-bench-gate-v1` baseline format:
+//! Four suites share the `alperf-bench-gate-v1` baseline format:
 //!
 //! * `obs` (default) re-measures the instrumented GPR fit and
 //!   batched-predict paths (the same measurement `obs_overhead` reports,
@@ -16,7 +16,12 @@
 //!   times at 1/2/4/8 rayon workers plus the pipelined-vs-serial
 //!   campaign ratio (via `alperf_bench::scalebench`) against
 //!   `BENCH_scaling.json`. Speedup-ratio gates carry a `min_cpus` and
-//!   self-skip on machines too small to demonstrate the speedup.
+//!   self-skip on machines too small to demonstrate the speedup;
+//! * `grid` re-measures campaign-grid throughput at 1/2/8 workers plus
+//!   the summary-stream overhead (via `alperf_bench::gridbench`) against
+//!   `BENCH_grid.json`. Throughput gates are `floor` kind (a collapse
+//!   below the recorded configs/s fails on the recording machine);
+//!   width-speedup ratios carry `min_cpus` like the scale suite.
 //!
 //! Gate semantics:
 //!
@@ -41,6 +46,10 @@ use alperf_bench::gate::{
     any_failed, evaluate, parse_baseline, render_baseline, render_json, render_table, GateKind,
     GateStatus, Machine, Metric,
 };
+use alperf_bench::gridbench::{
+    self, GRID_RATIO_T2_BUDGET, GRID_RATIO_T2_MIN_CPUS, GRID_RATIO_T8_BUDGET,
+    GRID_RATIO_T8_MIN_CPUS, STREAM_OVERHEAD_BUDGET_PCT,
+};
 use alperf_bench::overhead::{self, BUDGET_PCT};
 use alperf_bench::scalebench::{
     self, PIPELINE_RATIO_T2_BUDGET, PREDICT_POOL_RATIO_T4_BUDGET, PREDICT_POOL_RATIO_T4_MIN_CPUS,
@@ -51,6 +60,7 @@ use std::process::ExitCode;
 const DEFAULT_OBS_BASELINE: &str = "BENCH_obs_overhead.json";
 const DEFAULT_FIT_BASELINE: &str = "BENCH_gpr_fit_gate.json";
 const DEFAULT_SCALE_BASELINE: &str = "BENCH_scaling.json";
+const DEFAULT_GRID_BASELINE: &str = "BENCH_grid.json";
 const DEFAULT_TOLERANCE: f64 = 0.15;
 
 #[derive(Clone, Copy, PartialEq)]
@@ -58,6 +68,7 @@ enum Suite {
     Obs,
     Fit,
     Scale,
+    Grid,
 }
 
 impl Suite {
@@ -66,6 +77,7 @@ impl Suite {
             Suite::Obs => "obs_overhead",
             Suite::Fit => "gpr_fit_approx",
             Suite::Scale => "thread_scaling",
+            Suite::Grid => "campaign_grid",
         }
     }
 
@@ -74,6 +86,7 @@ impl Suite {
             Suite::Obs => DEFAULT_OBS_BASELINE,
             Suite::Fit => DEFAULT_FIT_BASELINE,
             Suite::Scale => DEFAULT_SCALE_BASELINE,
+            Suite::Grid => DEFAULT_GRID_BASELINE,
         }
     }
 
@@ -82,6 +95,7 @@ impl Suite {
             Suite::Obs => overhead::measure(quick).metrics(),
             Suite::Fit => fitbench::measure(quick).metrics(),
             Suite::Scale => scalebench::measure(quick).metrics(),
+            Suite::Grid => gridbench::measure(quick).metrics(),
         }
     }
 
@@ -166,6 +180,37 @@ impl Suite {
                 tol_pct: Some(50.0),
                 min_cpus: None,
             },
+            Suite::Grid if name == "grid_ratio_t2" => Metric {
+                // Campaigns are embarrassingly parallel: 2 workers on 2
+                // real cores must cut grid wall time by >= 1.25x.
+                kind: GateKind::Budget,
+                value: GRID_RATIO_T2_BUDGET,
+                tol_pct: None,
+                min_cpus: Some(GRID_RATIO_T2_MIN_CPUS),
+            },
+            Suite::Grid if name == "grid_ratio_t8" => Metric {
+                kind: GateKind::Budget,
+                value: GRID_RATIO_T8_BUDGET,
+                tol_pct: None,
+                min_cpus: Some(GRID_RATIO_T8_MIN_CPUS),
+            },
+            Suite::Grid if name == "stream_overhead_pct" => Metric {
+                // Per-record flushes vs one buffered write: the summary
+                // stream must stay nearly free, on any machine.
+                kind: GateKind::Budget,
+                value: STREAM_OVERHEAD_BUDGET_PCT,
+                tol_pct: None,
+                min_cpus: None,
+            },
+            Suite::Grid => Metric {
+                // Whole-grid throughput floors: multi-second aggregates
+                // over dozens of campaigns, but still CPU-steal exposed —
+                // gate a collapse, not a wobble.
+                kind: GateKind::Floor,
+                value,
+                tol_pct: Some(50.0),
+                min_cpus: None,
+            },
         }
     }
 }
@@ -210,8 +255,8 @@ fn today() -> String {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bench_gate [--suite obs|fit|scale] [--baseline <path>] [--tolerance <pct>] [--quick] [--json]\n\
-         \x20      bench_gate --update-baseline [--suite obs|fit|scale] [--baseline <path>] [--quick]"
+        "usage: bench_gate [--suite obs|fit|scale|grid] [--baseline <path>] [--tolerance <pct>] [--quick] [--json]\n\
+         \x20      bench_gate --update-baseline [--suite obs|fit|scale|grid] [--baseline <path>] [--quick]"
     );
     ExitCode::from(2)
 }
@@ -232,6 +277,7 @@ fn main() -> ExitCode {
                 Some("obs") => suite = Suite::Obs,
                 Some("fit") => suite = Suite::Fit,
                 Some("scale") => suite = Suite::Scale,
+                Some("grid") => suite = Suite::Grid,
                 _ => return usage(),
             },
             "--baseline" => match it.next() {

@@ -1,7 +1,7 @@
 //! Perf-regression gate: compare freshly measured hot-path numbers
 //! against a checked-in `alperf-bench-gate-v1` baseline.
 //!
-//! Two gate kinds:
+//! Three gate kinds:
 //!
 //! * `"relative"` — an absolute time (ms/ns). Fails when the current
 //!   value exceeds `baseline * (1 + tolerance)`. Absolute times are only
@@ -9,6 +9,10 @@
 //!   *skipped* (never failed) when the CPU count or quick/full mode of
 //!   the current run differs from the baseline's — that is what keeps
 //!   the gate runnable on arbitrary CI hardware.
+//! * `"floor"` — a throughput (bigger is better, e.g. configs/s). The
+//!   mirror of `"relative"`: fails when the current value drops below
+//!   `baseline * (1 - tolerance)`, and skips on incomparable hardware
+//!   under the same rules.
 //! * `"budget"` — a ratio with a hard ceiling (telemetry overhead
 //!   percent). Fails when the current value reaches the recorded budget,
 //!   on any machine; tolerance does not apply.
@@ -46,6 +50,9 @@ pub struct Machine {
 pub enum GateKind {
     /// Absolute time; tolerance applies; machine-mismatch skips.
     Relative,
+    /// Throughput floor (bigger is better); tolerance applies downward;
+    /// machine-mismatch skips.
+    Floor,
     /// Hard ceiling; always enforced.
     Budget,
 }
@@ -130,6 +137,7 @@ pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
     for (name, m) in metrics_obj {
         let kind = match m.get("kind").and_then(Json::as_str) {
             Some("relative") => GateKind::Relative,
+            Some("floor") => GateKind::Floor,
             Some("budget") => GateKind::Budget,
             other => return Err(format!("metric {name:?}: bad gate kind {other:?}")),
         };
@@ -190,6 +198,7 @@ pub fn render_baseline(
     for (i, (name, m)) in metrics.iter().enumerate() {
         let kind = match m.kind {
             GateKind::Relative => "relative",
+            GateKind::Floor => "floor",
             GateKind::Budget => "budget",
         };
         let comma = if i + 1 < metrics.len() { "," } else { "" };
@@ -278,10 +287,10 @@ pub fn evaluate(
                     metric.min_cpus.unwrap_or(0)
                 ),
             ),
-            GateKind::Relative if !comparable => (
+            GateKind::Relative | GateKind::Floor if !comparable => (
                 GateStatus::Skipped,
                 format!(
-                    "absolute-time gate skipped: baseline from cpus={} quick={}, \
+                    "machine-bound gate skipped: baseline from cpus={} quick={}, \
                      current cpus={cpus} quick={quick}",
                     baseline.machine.cpus, baseline.quick
                 ),
@@ -303,6 +312,29 @@ pub fn evaluate(
                         GateStatus::Fail,
                         format!(
                             "{cur:.3} exceeds {limit:.3} (baseline {:.3} +{:.0}% tolerance)",
+                            metric.value,
+                            tol * 100.0
+                        ),
+                    )
+                }
+            }
+            GateKind::Floor => {
+                let tol = metric.tol_pct.map(|p| p / 100.0).unwrap_or(tolerance);
+                let limit = metric.value * (1.0 - tol);
+                if cur >= limit {
+                    (
+                        GateStatus::Pass,
+                        format!(
+                            "{cur:.3} >= {limit:.3} (baseline {:.3} -{:.0}%)",
+                            metric.value,
+                            tol * 100.0
+                        ),
+                    )
+                } else {
+                    (
+                        GateStatus::Fail,
+                        format!(
+                            "{cur:.3} below floor {limit:.3} (baseline {:.3} -{:.0}% tolerance)",
                             metric.value,
                             tol * 100.0
                         ),
@@ -351,6 +383,7 @@ pub fn render_table(outcomes: &[GateOutcome]) -> String {
     for o in outcomes {
         let kind = match o.kind {
             GateKind::Relative => "relative",
+            GateKind::Floor => "floor",
             GateKind::Budget => "budget",
         };
         let status = match o.status {
@@ -624,6 +657,42 @@ mod tests {
         let cur_bad = BTreeMap::from([("predict_ms".to_string(), 4.6)]);
         let out = evaluate(&b, &cur_bad, 0.15, 1, 1, false);
         assert_eq!(out[0].status, GateStatus::Fail);
+    }
+
+    #[test]
+    fn floor_gate_fails_on_throughput_loss_and_skips_cross_machine() {
+        let text = r#"{
+  "schema": "alperf-bench-gate-v1",
+  "bench": "campaign_grid",
+  "machine": { "cpus": 1, "commit": "abc1234", "threads": 1 },
+  "quick": false,
+  "metrics": {
+    "configs_per_s_t1": { "kind": "floor", "value": 100.0, "tol_pct": 50.0 }
+  }
+}"#;
+        let b = parse_baseline(text).unwrap();
+        assert_eq!(b.metrics["configs_per_s_t1"].kind, GateKind::Floor);
+        // Healthy throughput (or better) passes.
+        let cur = BTreeMap::from([("configs_per_s_t1".to_string(), 90.0)]);
+        let out = evaluate(&b, &cur, 0.15, 1, 1, false);
+        assert_eq!(out[0].status, GateStatus::Pass, "{}", out[0].detail);
+        // A collapse below baseline*(1-tol) fails.
+        let cur = BTreeMap::from([("configs_per_s_t1".to_string(), 40.0)]);
+        let out = evaluate(&b, &cur, 0.15, 1, 1, false);
+        assert_eq!(out[0].status, GateStatus::Fail, "{}", out[0].detail);
+        // Different machine: throughput is not comparable — skipped.
+        let out = evaluate(&b, &cur, 0.15, 8, 8, false);
+        assert_eq!(out[0].status, GateStatus::Skipped, "{}", out[0].detail);
+        // Round-trips through the renderer.
+        let machine = b.machine.clone();
+        let rendered = render_baseline(
+            "campaign_grid",
+            "2026-08-08",
+            &machine,
+            false,
+            &[("configs_per_s_t1", b.metrics["configs_per_s_t1"])],
+        );
+        assert_eq!(parse_baseline(&rendered).unwrap().metrics, b.metrics);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 pub mod fitbench;
 pub mod gate;
+pub mod gridbench;
 pub mod overhead;
 pub mod plot;
 pub mod scalebench;

@@ -1,0 +1,443 @@
+//! Leaderboards and significance verdicts over a summary stream.
+//!
+//! Everything here works from parsed [`SummaryRecord`]s alone — no
+//! re-execution, which is the point: a thousand-campaign grid reduces
+//! to a JSONL file anyone can re-rank offline.
+//!
+//! Records group into **scenario slices** (kernel × tier × noise ×
+//! batch × fault); within a slice each strategy's replicate seeds give
+//! it a sample of final RMSEs. The leaderboard ranks strategies by mean
+//! final RMSE; pairwise verdicts come from the shared bootstrap in
+//! `alperf_trace::bootstrap` (the same machinery the trace diff gate
+//! uses), with its typed degenerate reasons rendered instead of a fake
+//! "significant". Because replicates share datasets and fault verdicts
+//! across strategies (spec module), comparisons are paired by
+//! construction.
+//!
+//! Determinism: groups live in `BTreeMap`s, per-comparison RNG seeds
+//! derive from (rank seed, slice, pair) — record order, slice order,
+//! and comparison order cannot change a verdict or a byte of output.
+
+use crate::summary::{fnv1a64, SummaryRecord};
+use alperf_trace::bootstrap::{bootstrap_delta_pct, Verdict};
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Ranking options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankConfig {
+    /// Seed for the significance bootstraps.
+    pub seed: u64,
+    /// Bootstrap resamples per pairwise comparison.
+    pub resamples: usize,
+    /// Minimum replicates per strategy to attempt a comparison.
+    pub min_count: usize,
+    /// |delta| (percent) a significant difference must exceed.
+    pub threshold_pct: f64,
+}
+
+impl Default for RankConfig {
+    fn default() -> Self {
+        RankConfig {
+            seed: 42,
+            resamples: 400,
+            min_count: 2,
+            threshold_pct: 1.0,
+        }
+    }
+}
+
+/// One leaderboard row: a strategy's aggregate within a slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardRow {
+    /// Strategy name.
+    pub strategy: String,
+    /// Replicates aggregated (ok records with a finite final RMSE).
+    pub n: usize,
+    /// Mean final RMSE (the ranking key, ascending).
+    pub mean_rmse: f64,
+    /// Mean trajectory-average RMSE.
+    pub mean_rmse_mean: f64,
+    /// Mean total cost.
+    pub mean_cost: f64,
+    /// Total degraded iterations across replicates.
+    pub degraded: u64,
+}
+
+/// A ranked slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceBoard {
+    /// Slice key (kernel/tier/noise/batch/fault).
+    pub slice: String,
+    /// Rows, best (lowest mean final RMSE) first.
+    pub rows: Vec<BoardRow>,
+    /// Records skipped in this slice (error status / non-finite RMSE).
+    pub skipped: usize,
+}
+
+/// One pairwise significance verdict within a slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairVerdict {
+    /// Slice key.
+    pub slice: String,
+    /// First strategy (side A of the bootstrap).
+    pub a: String,
+    /// Second strategy (side B).
+    pub b: String,
+    /// The bootstrap verdict (delta is B relative to A; RMSE is
+    /// lower-is-better, so a significant negative delta means B wins).
+    pub verdict: Verdict,
+}
+
+impl PairVerdict {
+    /// Winner's name, when the difference is significant.
+    pub fn winner(&self) -> Option<&str> {
+        if !self.verdict.significant {
+            return None;
+        }
+        Some(if self.verdict.delta_pct < 0.0 {
+            &self.b
+        } else {
+            &self.a
+        })
+    }
+}
+
+/// ok-status records with a finite final RMSE, grouped
+/// slice → strategy → replicate samples, sorted by replicate seed so the
+/// bootstrap sees the same sample vector no matter how the input records
+/// were ordered (and paired comparisons line up seed-for-seed).
+type Grouped<'a> = BTreeMap<&'a str, BTreeMap<&'a str, Vec<&'a SummaryRecord>>>;
+
+fn group(records: &[SummaryRecord]) -> (Grouped<'_>, BTreeMap<&str, usize>) {
+    let mut grouped: Grouped = BTreeMap::new();
+    let mut skipped: BTreeMap<&str, usize> = BTreeMap::new();
+    for r in records {
+        if r.status == "ok" && r.rmse_final.is_finite() {
+            grouped
+                .entry(r.slice.as_str())
+                .or_default()
+                .entry(r.strategy.as_str())
+                .or_default()
+                .push(r);
+        } else {
+            *skipped.entry(r.slice.as_str()).or_default() += 1;
+        }
+    }
+    for by_strategy in grouped.values_mut() {
+        for recs in by_strategy.values_mut() {
+            recs.sort_by_key(|r| (r.seed, r.index));
+        }
+    }
+    (grouped, skipped)
+}
+
+/// Build one leaderboard per slice, best strategy first (ties broken by
+/// name for byte-stable output).
+pub fn leaderboards(records: &[SummaryRecord]) -> Vec<SliceBoard> {
+    let (grouped, skipped) = group(records);
+    let mut boards = Vec::with_capacity(grouped.len());
+    for (slice, by_strategy) in grouped {
+        let mut rows: Vec<BoardRow> = by_strategy
+            .into_iter()
+            .map(|(strategy, recs)| {
+                let n = recs.len();
+                let mean = |f: &dyn Fn(&SummaryRecord) -> f64| {
+                    recs.iter().map(|r| f(r)).sum::<f64>() / n as f64
+                };
+                BoardRow {
+                    strategy: strategy.to_string(),
+                    n,
+                    mean_rmse: mean(&|r| r.rmse_final),
+                    mean_rmse_mean: mean(&|r| r.rmse_mean),
+                    mean_cost: mean(&|r| r.cost),
+                    degraded: recs.iter().map(|r| r.degraded).sum(),
+                }
+            })
+            .collect();
+        rows.sort_by(|x, y| {
+            x.mean_rmse
+                .partial_cmp(&y.mean_rmse)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| x.strategy.cmp(&y.strategy))
+        });
+        boards.push(SliceBoard {
+            slice: slice.to_string(),
+            rows,
+            skipped: skipped.get(slice).copied().unwrap_or(0),
+        });
+    }
+    boards
+}
+
+/// Pairwise bootstrap verdicts for every strategy pair in every slice
+/// (pairs in lexicographic order). Samples are final RMSEs across
+/// replicate seeds.
+pub fn significance(records: &[SummaryRecord], cfg: &RankConfig) -> Vec<PairVerdict> {
+    let (grouped, _) = group(records);
+    let mut out = Vec::new();
+    for (slice, by_strategy) in grouped {
+        let strategies: Vec<&str> = by_strategy.keys().copied().collect();
+        for (i, &a) in strategies.iter().enumerate() {
+            for &b in &strategies[i + 1..] {
+                let xs: Vec<f64> = by_strategy[a].iter().map(|r| r.rmse_final).collect();
+                let ys: Vec<f64> = by_strategy[b].iter().map(|r| r.rmse_final).collect();
+                // Per-comparison seed: independent of slice/pair
+                // enumeration order.
+                let pair_seed = crate::spec::mix(
+                    cfg.seed ^ fnv1a64(slice.bytes()),
+                    fnv1a64(format!("{a}|{b}").bytes()),
+                );
+                let mut rng = StdRng::seed_from_u64(pair_seed);
+                let verdict = bootstrap_delta_pct(
+                    &xs,
+                    &ys,
+                    cfg.resamples,
+                    cfg.min_count,
+                    cfg.threshold_pct,
+                    &mut rng,
+                );
+                out.push(PairVerdict {
+                    slice: slice.to_string(),
+                    a: a.to_string(),
+                    b: b.to_string(),
+                    verdict,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Aggregate verdicts of `champion` against `baseline` across slices:
+/// (significantly better, significantly worse, inconclusive).
+pub fn claim_counts(
+    verdicts: &[PairVerdict],
+    champion: &str,
+    baseline: &str,
+) -> (usize, usize, usize) {
+    let (mut better, mut worse, mut inconclusive) = (0, 0, 0);
+    for v in verdicts {
+        let relevant = (v.a == champion && v.b == baseline) || (v.a == baseline && v.b == champion);
+        if !relevant {
+            continue;
+        }
+        match v.winner() {
+            Some(w) if w == champion => better += 1,
+            Some(_) => worse += 1,
+            None => inconclusive += 1,
+        }
+    }
+    (better, worse, inconclusive)
+}
+
+fn fmt4(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "-".into()
+    }
+}
+
+/// Byte-stable leaderboard table (the golden-fixture format).
+pub fn render_leaderboards(boards: &[SliceBoard]) -> String {
+    let mut out = String::new();
+    for board in boards {
+        let _ = writeln!(out, "=== {} ===", board.slice);
+        let _ = writeln!(
+            out,
+            "{:<4} {:<20} {:>3} {:>10} {:>10} {:>10} {:>9}",
+            "rank", "strategy", "n", "rmse", "rmse_mean", "cost", "degraded"
+        );
+        for (i, row) in board.rows.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:<4} {:<20} {:>3} {:>10} {:>10} {:>10} {:>9}",
+                i + 1,
+                row.strategy,
+                row.n,
+                fmt4(row.mean_rmse),
+                fmt4(row.mean_rmse_mean),
+                format!("{:.1}", row.mean_cost),
+                row.degraded
+            );
+        }
+        if board.skipped > 0 {
+            let _ = writeln!(out, "(skipped {} non-ok records)", board.skipped);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Byte-stable pairwise-verdict listing grouped by slice.
+pub fn render_significance(verdicts: &[PairVerdict]) -> String {
+    let mut out = String::new();
+    let mut current_slice: Option<&str> = None;
+    for v in verdicts {
+        if current_slice != Some(v.slice.as_str()) {
+            if current_slice.is_some() {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "=== {} ===", v.slice);
+            current_slice = Some(v.slice.as_str());
+        }
+        let d = &v.verdict;
+        let verdict_text = match (v.winner(), d.degenerate) {
+            (Some(w), _) => format!("{w} better"),
+            (None, Some(reason)) => format!("not significant ({})", reason.label()),
+            (None, None) => "not significant".to_string(),
+        };
+        let ci = if d.ci_lo_pct.is_finite() {
+            format!("[{:+.1}%, {:+.1}%]", d.ci_lo_pct, d.ci_hi_pct)
+        } else {
+            "[-]".to_string()
+        };
+        let delta = if d.delta_pct.is_finite() {
+            format!("{:+.1}%", d.delta_pct)
+        } else {
+            "-".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{} vs {}: delta {} CI {} -> {}",
+            v.a, v.b, delta, ci, verdict_text
+        );
+    }
+    out
+}
+
+/// The paper-claims-at-scale table: each non-baseline strategy scored
+/// against `baseline` across every slice.
+pub fn render_claims(verdicts: &[PairVerdict], baseline: &str) -> String {
+    let mut strategies: Vec<&str> = verdicts
+        .iter()
+        .flat_map(|v| [v.a.as_str(), v.b.as_str()])
+        .filter(|s| *s != baseline)
+        .collect();
+    strategies.sort();
+    strategies.dedup();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== paper claim: strategy vs {baseline}, per-slice verdicts ==="
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:>7} {:>7} {:>13}",
+        "strategy", "better", "worse", "inconclusive"
+    );
+    for s in strategies {
+        let (better, worse, inconclusive) = claim_counts(verdicts, s, baseline);
+        let _ = writeln!(out, "{s:<20} {better:>7} {worse:>7} {inconclusive:>13}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(slice: &str, strategy: &str, seed: u64, rmse: f64) -> SummaryRecord {
+        SummaryRecord {
+            index: 0,
+            key: format!("strategy={strategy} {slice} seed={seed}"),
+            strategy: strategy.into(),
+            slice: slice.into(),
+            seed,
+            status: "ok".into(),
+            iters: 8,
+            degraded: 0,
+            failures: 0,
+            cost: 40.0,
+            rmse_final: rmse,
+            rmse_mean: rmse * 1.5,
+            amsd_final: 0.1,
+            traj: "0".repeat(16),
+        }
+    }
+
+    fn sample() -> Vec<SummaryRecord> {
+        let mut out = Vec::new();
+        for seed in 0..6 {
+            let jitter = seed as f64 * 0.003;
+            out.push(rec("s1", "variance_reduction", seed, 0.10 + jitter));
+            out.push(rec("s1", "random", seed, 0.30 + jitter * 2.0));
+            // s0: wide, overlapping spreads — no real winner.
+            out.push(rec(
+                "s0",
+                "variance_reduction",
+                seed,
+                0.20 + seed as f64 * 0.02,
+            ));
+            out.push(rec(
+                "s0",
+                "random",
+                seed,
+                0.21 + ((seed + 3) % 6) as f64 * 0.02,
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn leaderboard_ranks_by_mean_final_rmse() {
+        let boards = leaderboards(&sample());
+        assert_eq!(boards.len(), 2);
+        assert_eq!(boards[0].slice, "s0"); // BTreeMap order
+        let s1 = &boards[1];
+        assert_eq!(s1.rows[0].strategy, "variance_reduction");
+        assert_eq!(s1.rows[1].strategy, "random");
+        assert_eq!(s1.rows[0].n, 6);
+        assert!(s1.rows[0].mean_rmse < s1.rows[1].mean_rmse);
+    }
+
+    #[test]
+    fn significance_flags_the_clear_gap_only() {
+        let records = sample();
+        let cfg = RankConfig::default();
+        let verdicts = significance(&records, &cfg);
+        assert_eq!(verdicts.len(), 2);
+        let s1 = verdicts.iter().find(|v| v.slice == "s1").unwrap();
+        assert_eq!(s1.winner(), Some("variance_reduction"));
+        let s0 = verdicts.iter().find(|v| v.slice == "s0").unwrap();
+        assert_eq!(s0.winner(), None, "{:?}", s0.verdict);
+    }
+
+    #[test]
+    fn error_records_are_skipped_and_counted() {
+        let mut records = sample();
+        records[0].status = "error".into();
+        records[1].rmse_final = f64::NAN;
+        let boards = leaderboards(&records);
+        let s1 = boards.iter().find(|b| b.slice == "s1").unwrap();
+        assert_eq!(s1.skipped, 2);
+        assert_eq!(s1.rows.iter().map(|r| r.n).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_order_blind() {
+        let records = sample();
+        let mut reversed = records.clone();
+        reversed.reverse();
+        let cfg = RankConfig::default();
+        assert_eq!(
+            render_leaderboards(&leaderboards(&records)),
+            render_leaderboards(&leaderboards(&reversed))
+        );
+        // Reversed record order flips replicate order within a group;
+        // grouping re-sorts by seed, so verdicts are byte-identical.
+        let a = significance(&records, &cfg);
+        assert_eq!(
+            render_significance(&a),
+            render_significance(&significance(&reversed, &cfg))
+        );
+        let text = render_significance(&a);
+        assert!(text.contains("variance_reduction vs random") || text.contains("random vs"));
+        let claims = render_claims(&a, "random");
+        assert!(claims.contains("variance_reduction"));
+        let (better, worse, inconclusive) = claim_counts(&a, "variance_reduction", "random");
+        assert_eq!((better, worse, inconclusive), (1, 0, 1));
+    }
+}

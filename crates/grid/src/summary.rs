@@ -1,0 +1,363 @@
+//! The `alperf-grid-v1` summary stream: one JSONL record per campaign.
+//!
+//! Line 1 is the meta record (schema, grid name, config count, the
+//! canonical spec text, and whether timing fields are armed); every
+//! following line summarizes one campaign, in config order. Rendering is
+//! byte-deterministic: floats go through `alperf_obs::json::number`
+//! (shortest round-trip formatting), field order is fixed, and the
+//! trajectory digest is an FNV-1a 64 hash over the exact f64 bit
+//! patterns — so "the same grid" means "the same bytes", which is what
+//! the determinism and resume tests compare.
+//!
+//! Timing fields (`wall_ns`, `cpu_ns`) are zero unless the runner arms
+//! `--timing`: clocks are observational and would break bit-identity
+//! across widths, exactly like the obs layer's rule that timestamps are
+//! only read under telemetry.
+
+use crate::campaign::CampaignResult;
+use crate::spec::{CampaignConfig, GridSpec};
+use alperf_obs::json::{self, Json};
+use std::fmt::Write as _;
+
+/// Schema tag of the summary stream.
+pub const SCHEMA: &str = "alperf-grid-v1";
+
+/// Summary read / validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryError(pub String);
+
+impl std::fmt::Display for SummaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "grid summary: {}", self.0)
+    }
+}
+
+impl std::error::Error for SummaryError {}
+
+/// FNV-1a 64 over a byte stream.
+pub fn fnv1a64(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Digest of the RMSE and AMSD trajectories: FNV-1a 64 over the exact
+/// f64 bit patterns (lengths prefixed), rendered as 16 hex digits.
+pub fn trajectory_digest(rmse: &[f64], amsd: &[f64]) -> String {
+    let series_bytes = |xs: &[f64]| -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + xs.len() * 8);
+        out.extend_from_slice(&(xs.len() as u64).to_le_bytes());
+        for x in xs {
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        out
+    };
+    let mut bytes = series_bytes(rmse);
+    bytes.extend(series_bytes(amsd));
+    format!("{:016x}", fnv1a64(bytes))
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        json::number(v)
+    } else {
+        "null".into()
+    }
+}
+
+/// Render the meta line (no trailing newline).
+pub fn render_meta(spec: &GridSpec, n_configs: usize, timing: bool) -> String {
+    let mut name = String::new();
+    json::escape_into(&mut name, &spec.name);
+    let mut spec_text = String::new();
+    json::escape_into(&mut spec_text, &spec.canonical_text());
+    format!(
+        "{{\"schema\":\"{SCHEMA}\",\"grid\":{name},\"n_configs\":{n_configs},\
+         \"base_seed\":{},\"timing\":{timing},\"spec\":{spec_text}}}",
+        spec.base_seed
+    )
+}
+
+/// Render one campaign's summary record (no trailing newline).
+/// `wall_ns`/`cpu_ns` are whatever the executor measured — zero in the
+/// default deterministic mode.
+pub fn render_record(
+    cfg: &CampaignConfig,
+    res: &CampaignResult,
+    wall_ns: u64,
+    cpu_ns: u64,
+) -> String {
+    let mut key = String::new();
+    json::escape_into(&mut key, &cfg.key());
+    let mut out = String::with_capacity(512);
+    let _ = write!(
+        out,
+        "{{\"i\":{},\"key\":{key},\"strategy\":\"{}\",\"kernel\":\"{}\",\"tier\":\"{}\",\
+         \"noise\":{},\"batch\":{},\"fault\":{},\"seed\":{},\"run_seed\":{}",
+        cfg.index,
+        cfg.strategy.name(),
+        cfg.kernel.name(),
+        cfg.tier.name(),
+        num(cfg.noise),
+        cfg.batch,
+        num(cfg.fault_rate),
+        cfg.seed,
+        cfg.run_seed,
+    );
+    match &res.error {
+        None => out.push_str(",\"status\":\"ok\""),
+        Some(msg) => {
+            let mut err = String::new();
+            json::escape_into(&mut err, msg);
+            let _ = write!(out, ",\"status\":\"error\",\"err\":{err}");
+        }
+    }
+    let first = |xs: &[f64]| xs.first().copied().unwrap_or(f64::NAN);
+    let last = |xs: &[f64]| xs.last().copied().unwrap_or(f64::NAN);
+    let min = |xs: &[f64]| xs.iter().copied().fold(f64::NAN, f64::min);
+    let mean = |xs: &[f64]| {
+        if xs.is_empty() {
+            f64::NAN
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
+    let _ = write!(
+        out,
+        ",\"iters\":{},\"degraded\":{},\"failures\":{},\"cost\":{},\
+         \"rmse_first\":{},\"rmse_final\":{},\"rmse_min\":{},\"rmse_mean\":{},\
+         \"amsd_first\":{},\"amsd_final\":{},\"traj\":\"{}\",\
+         \"wall_ns\":{wall_ns},\"cpu_ns\":{cpu_ns}}}",
+        res.iters,
+        res.degraded,
+        res.failures,
+        num(res.cost),
+        num(first(&res.rmse)),
+        num(last(&res.rmse)),
+        num(min(&res.rmse)),
+        num(mean(&res.rmse)),
+        num(first(&res.amsd)),
+        num(last(&res.amsd)),
+        trajectory_digest(&res.rmse, &res.amsd),
+    );
+    out
+}
+
+/// One parsed summary record — the fields the ranking layer consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRecord {
+    /// Config index in the expansion.
+    pub index: usize,
+    /// Full config key.
+    pub key: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Scenario-slice key (kernel/tier/noise/batch/fault).
+    pub slice: String,
+    /// Replicate seed.
+    pub seed: u64,
+    /// `"ok"` or `"error"`.
+    pub status: String,
+    /// Measured iterations.
+    pub iters: u64,
+    /// Degraded (lost) iterations.
+    pub degraded: u64,
+    /// Attempts burned on lost experiments.
+    pub failures: u64,
+    /// Total charged cost (NaN for error records).
+    pub cost: f64,
+    /// Final test RMSE (NaN when absent).
+    pub rmse_final: f64,
+    /// Mean test RMSE over the trajectory (NaN when absent).
+    pub rmse_mean: f64,
+    /// Final pool AMSD (NaN when absent).
+    pub amsd_final: f64,
+    /// Trajectory digest (16 hex chars).
+    pub traj: String,
+}
+
+/// A parsed summary file: meta fields + records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryFile {
+    /// Grid name from the meta line.
+    pub grid: String,
+    /// Config count the grid was expanded to.
+    pub n_configs: usize,
+    /// Canonical spec text from the meta line.
+    pub spec: String,
+    /// Whether timing fields were armed.
+    pub timing: bool,
+    /// Campaign records, in file order.
+    pub records: Vec<SummaryRecord>,
+}
+
+fn get_f64(v: &Json, key: &str, line: usize) -> Result<f64, SummaryError> {
+    match v.get(key) {
+        Some(x) => Ok(x.as_f64().unwrap_or(f64::NAN)),
+        None => Err(SummaryError(format!("line {line}: missing \"{key}\""))),
+    }
+}
+
+fn get_str(v: &Json, key: &str, line: usize) -> Result<String, SummaryError> {
+    v.get(key)
+        .and_then(|x| x.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| SummaryError(format!("line {line}: missing string \"{key}\"")))
+}
+
+/// Parse one record line (1-based `line` for error messages).
+pub fn parse_record(text: &str, line: usize) -> Result<SummaryRecord, SummaryError> {
+    let v = json::parse(text).map_err(|e| SummaryError(format!("line {line}: {e}")))?;
+    let index = get_f64(&v, "i", line)? as usize;
+    let (kernel, tier) = (get_str(&v, "kernel", line)?, get_str(&v, "tier", line)?);
+    let noise = get_f64(&v, "noise", line)?;
+    let batch = get_f64(&v, "batch", line)? as u64;
+    let fault = get_f64(&v, "fault", line)?;
+    Ok(SummaryRecord {
+        index,
+        key: get_str(&v, "key", line)?,
+        strategy: get_str(&v, "strategy", line)?,
+        slice: format!("kernel={kernel} tier={tier} noise={noise} batch={batch} fault={fault}"),
+        seed: get_f64(&v, "seed", line)? as u64,
+        status: get_str(&v, "status", line)?,
+        iters: get_f64(&v, "iters", line)? as u64,
+        degraded: get_f64(&v, "degraded", line)? as u64,
+        failures: get_f64(&v, "failures", line)? as u64,
+        cost: get_f64(&v, "cost", line)?,
+        rmse_final: get_f64(&v, "rmse_final", line)?,
+        rmse_mean: get_f64(&v, "rmse_mean", line)?,
+        amsd_final: get_f64(&v, "amsd_final", line)?,
+        traj: get_str(&v, "traj", line)?,
+    })
+}
+
+/// Read a whole summary file from text. Records must be dense in config
+/// order (index `k` on line `k + 2`) — the invariant the ordered
+/// committer guarantees and resume relies on.
+pub fn parse_summaries(text: &str) -> Result<SummaryFile, SummaryError> {
+    let mut lines = text.lines();
+    let meta_line = lines.next().ok_or(SummaryError("empty file".into()))?;
+    let meta = json::parse(meta_line).map_err(|e| SummaryError(format!("meta line: {e}")))?;
+    match meta.get("schema").and_then(|s| s.as_str()) {
+        Some(SCHEMA) => {}
+        Some(other) => return Err(SummaryError(format!("unknown schema {other:?}"))),
+        None => return Err(SummaryError("meta line missing \"schema\"".into())),
+    }
+    let file = SummaryFile {
+        grid: get_str(&meta, "grid", 1)?,
+        n_configs: get_f64(&meta, "n_configs", 1)? as usize,
+        spec: get_str(&meta, "spec", 1)?,
+        timing: matches!(meta.get("timing"), Some(Json::Bool(true))),
+        records: Vec::new(),
+    };
+    let mut file = file;
+    for (k, line) in lines.enumerate() {
+        let rec = parse_record(line, k + 2)?;
+        if rec.index != k {
+            return Err(SummaryError(format!(
+                "line {}: config index {} out of order (expected {k})",
+                k + 2,
+                rec.index
+            )));
+        }
+        file.records.push(rec);
+    }
+    if file.records.len() > file.n_configs {
+        return Err(SummaryError(format!(
+            "{} records for {} configs",
+            file.records.len(),
+            file.n_configs
+        )));
+    }
+    Ok(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use crate::spec::GridSpec;
+
+    fn tiny() -> (GridSpec, Vec<CampaignConfig>) {
+        let spec = GridSpec {
+            rows: 24,
+            iters: 4,
+            fault_rates: vec![0.2],
+            seeds: vec![0, 1],
+            ..GridSpec::default()
+        }
+        .canonicalize()
+        .unwrap();
+        let configs = spec.expand().unwrap();
+        (spec, configs)
+    }
+
+    #[test]
+    fn record_round_trips_through_the_reader() {
+        let (spec, configs) = tiny();
+        let mut text = render_meta(&spec, configs.len(), false);
+        text.push('\n');
+        for cfg in &configs {
+            text.push_str(&render_record(cfg, &run_campaign(cfg), 0, 0));
+            text.push('\n');
+        }
+        let file = parse_summaries(&text).unwrap();
+        assert_eq!(file.grid, "grid");
+        assert_eq!(file.n_configs, 2);
+        assert_eq!(file.spec, spec.canonical_text());
+        assert_eq!(file.records.len(), 2);
+        for (k, rec) in file.records.iter().enumerate() {
+            assert_eq!(rec.index, k);
+            assert_eq!(rec.key, configs[k].key());
+            assert_eq!(rec.slice, configs[k].slice_key());
+            assert_eq!(rec.status, "ok");
+            assert!(rec.rmse_final.is_finite());
+            assert_eq!(rec.traj.len(), 16);
+        }
+    }
+
+    #[test]
+    fn out_of_order_and_bad_schema_rejected() {
+        let (spec, configs) = tiny();
+        let rec = render_record(&configs[1], &run_campaign(&configs[1]), 0, 0);
+        let text = format!("{}\n{rec}\n", render_meta(&spec, configs.len(), false));
+        let err = parse_summaries(&text).unwrap_err();
+        assert!(err.0.contains("out of order"), "{err}");
+        assert!(parse_summaries("{\"schema\":\"nope\"}\n").is_err());
+        assert!(parse_summaries("").is_err());
+    }
+
+    #[test]
+    fn digest_tracks_exact_bits() {
+        let a = trajectory_digest(&[1.0, 2.0], &[0.5]);
+        assert_eq!(a, trajectory_digest(&[1.0, 2.0], &[0.5]));
+        assert_ne!(a, trajectory_digest(&[1.0, 2.0 + 1e-15], &[0.5]));
+        // Length-prefixing keeps boundary shifts distinct.
+        assert_ne!(
+            trajectory_digest(&[1.0, 2.0], &[]),
+            trajectory_digest(&[1.0], &[2.0])
+        );
+    }
+
+    #[test]
+    fn error_records_render_with_null_metrics() {
+        let (_, configs) = tiny();
+        let res = crate::campaign::CampaignResult {
+            rmse: vec![],
+            amsd: vec![],
+            cost: 0.0,
+            iters: 0,
+            degraded: 0,
+            failures: 0,
+            error: Some("fit exploded \"badly\"".into()),
+        };
+        let line = render_record(&configs[0], &res, 0, 0);
+        let rec = parse_record(&line, 2).unwrap();
+        assert_eq!(rec.status, "error");
+        assert!(rec.rmse_final.is_nan());
+        assert!(line.contains("\"rmse_final\":null"));
+    }
+}

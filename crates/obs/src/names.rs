@@ -72,6 +72,17 @@ pub const OBS_ALERT_TRANSITIONS: &str = "obs.alerts.transitions";
 pub const OBS_AGGREGATE_EVICTIONS: &str = "obs.aggregate.evictions";
 /// Counter: black-box flight-recorder dumps written.
 pub const OBS_BLACKBOX_DUMPS: &str = "obs.blackbox.dumps";
+/// Record: a campaign grid started (name, config count, resume point,
+/// worker width).
+pub const GRID_RUN_START: &str = "grid.run_start";
+/// Labeled family (`grid`, `strategy`): campaign summaries committed.
+pub const GRID_CONFIGS_DONE: &str = "grid.configs.done";
+/// Labeled family (`grid`, `strategy`): campaigns committed as error
+/// records (surrogate fit failures).
+pub const GRID_CONFIG_ERRORS: &str = "grid.configs.errors";
+/// Labeled family (`grid`, `strategy`): campaigns with at least one
+/// fault-degraded iteration.
+pub const GRID_DEGRADED: &str = "grid.configs.degraded";
 
 /// Label key: campaign / run id.
 pub const LABEL_CAMPAIGN: &str = "campaign";
@@ -81,3 +92,5 @@ pub const LABEL_STRATEGY: &str = "strategy";
 pub const LABEL_TIER: &str = "tier";
 /// Label key: injected fault kind.
 pub const LABEL_FAULT_KIND: &str = "fault_kind";
+/// Label key: campaign-grid name.
+pub const LABEL_GRID: &str = "grid";

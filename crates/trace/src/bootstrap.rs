@@ -1,0 +1,289 @@
+//! Seeded bootstrap comparison of two samples — the statistical core
+//! shared by cross-run trace diffing ([`crate::diff`]) and the
+//! campaign-grid significance verdicts (`alperf-grid`).
+//!
+//! The estimator is the relative change of the mean, `(mean_b - mean_a)
+//! / mean_a * 100`, with a 95% percentile confidence interval from
+//! resampling both sides with replacement. Everything is driven by a
+//! caller-supplied [`StdRng`], so verdicts are deterministic for a fixed
+//! seed and input.
+//!
+//! Degenerate inputs — the edge cases a batch ranker over thousands of
+//! campaign summaries hits constantly — never panic, never divide by
+//! zero, and never come back "significant". Instead the verdict carries
+//! a typed [`DegenerateReason`]:
+//!
+//! * too few samples on either side (`n = 1` arms included);
+//! * non-finite values, a non-positive baseline mean, or a non-finite
+//!   delta (the division guard);
+//! * both arms constant with equal values (all ties: the delta is
+//!   exactly zero and there is nothing to test);
+//! * both arms constant with different values (zero variance: the
+//!   bootstrap distribution collapses to a point, so the CI "excluding
+//!   zero" is an artifact of having no spread to resample, not
+//!   evidence).
+
+use rand::{rngs::StdRng, RngCore};
+
+/// Why a comparison could not produce a meaningful significance verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegenerateReason {
+    /// One side has fewer samples than the configured minimum.
+    TooFewSamples,
+    /// A non-finite value, non-positive baseline mean, or non-finite
+    /// delta made the relative-change estimator undefined.
+    NonFinite,
+    /// Both arms are constant and equal — the delta is exactly zero.
+    AllTies,
+    /// Both arms are constant (but different): the bootstrap
+    /// distribution is a point mass and carries no evidence.
+    ZeroVariance,
+}
+
+impl DegenerateReason {
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegenerateReason::TooFewSamples => "too_few_samples",
+            DegenerateReason::NonFinite => "non_finite",
+            DegenerateReason::AllTies => "all_ties",
+            DegenerateReason::ZeroVariance => "zero_variance",
+        }
+    }
+}
+
+/// Outcome of one bootstrap comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Sample count of side A.
+    pub n_a: usize,
+    /// Sample count of side B.
+    pub n_b: usize,
+    /// Mean of side A (NaN when empty).
+    pub mean_a: f64,
+    /// Mean of side B (NaN when empty).
+    pub mean_b: f64,
+    /// Relative change of the mean, percent (NaN when undefined).
+    pub delta_pct: f64,
+    /// Lower 95% CI bound of `delta_pct` (NaN when no bootstrap ran).
+    pub ci_lo_pct: f64,
+    /// Upper 95% CI bound of `delta_pct`.
+    pub ci_hi_pct: f64,
+    /// CI excludes zero, |delta| exceeds the threshold, and the input
+    /// was not degenerate.
+    pub significant: bool,
+    /// Why the verdict is forced to "not significant", when it is.
+    pub degenerate: Option<DegenerateReason>,
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        f64::NAN
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn resampled_mean(xs: &[f64], rng: &mut StdRng) -> f64 {
+    let n = xs.len() as u64;
+    let sum: f64 = (0..xs.len())
+        .map(|_| xs[(rng.next_u64() % n) as usize])
+        .sum();
+    sum / xs.len() as f64
+}
+
+fn is_constant(xs: &[f64]) -> bool {
+    xs.windows(2).all(|w| w[0] == w[1])
+}
+
+/// Bootstrap the relative mean change `(mean_b - mean_a) / mean_a` in
+/// percent, with `resamples` resamples of both sides. `min_count` is the
+/// minimum per-side sample count to attempt a bootstrap; `threshold_pct`
+/// is the absolute delta (percent) a significant result must also
+/// exceed.
+///
+/// Degenerate inputs return a typed, never-significant verdict instead
+/// of panicking — see the module docs for the taxonomy. The RNG is
+/// consumed *only* when a bootstrap actually runs (the same draw pattern
+/// for every non-degenerate input shape), so a caller sharing one RNG
+/// across many comparisons stays deterministic.
+pub fn bootstrap_delta_pct(
+    a: &[f64],
+    b: &[f64],
+    resamples: usize,
+    min_count: usize,
+    threshold_pct: f64,
+    rng: &mut StdRng,
+) -> Verdict {
+    let mean_a = mean(a);
+    let mean_b = mean(b);
+    let delta_pct = if mean_a > 0.0 {
+        (mean_b - mean_a) / mean_a * 100.0
+    } else {
+        f64::NAN
+    };
+    let mut v = Verdict {
+        n_a: a.len(),
+        n_b: b.len(),
+        mean_a,
+        mean_b,
+        delta_pct,
+        ci_lo_pct: f64::NAN,
+        ci_hi_pct: f64::NAN,
+        significant: false,
+        degenerate: None,
+    };
+    if a.len() < min_count || b.len() < min_count {
+        v.degenerate = Some(DegenerateReason::TooFewSamples);
+        return v;
+    }
+    let finite = a.iter().chain(b).all(|x| x.is_finite());
+    // `finite` guarantees mean_a is a number here, so `<= 0.0` covers
+    // exactly the non-positive baselines a percent delta can't describe.
+    if !finite || mean_a <= 0.0 || !delta_pct.is_finite() {
+        v.degenerate = Some(DegenerateReason::NonFinite);
+        return v;
+    }
+    if resamples == 0 {
+        return v;
+    }
+    // Non-degenerate shape so far: run the resampling. (Constant arms
+    // still consume the RNG here so one shared RNG stream stays aligned
+    // across a sequence of comparisons regardless of which ones turn
+    // out to be degenerate.)
+    let mut deltas: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let ma = resampled_mean(a, rng);
+            let mb = resampled_mean(b, rng);
+            if ma > 0.0 {
+                (mb - ma) / ma * 100.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    deltas.sort_by(|x, y| x.partial_cmp(y).expect("finite deltas"));
+    let pick = |q: f64| deltas[((deltas.len() - 1) as f64 * q).round() as usize];
+    v.ci_lo_pct = pick(0.025);
+    v.ci_hi_pct = pick(0.975);
+    if is_constant(a) && is_constant(b) {
+        // A point-mass bootstrap: the CI trivially "excludes zero"
+        // whenever the constants differ, which is no evidence at all.
+        v.degenerate = Some(if a[0] == b[0] {
+            DegenerateReason::AllTies
+        } else {
+            DegenerateReason::ZeroVariance
+        });
+        return v;
+    }
+    let excludes_zero = v.ci_lo_pct > 0.0 || v.ci_hi_pct < 0.0;
+    v.significant = excludes_zero && delta_pct.abs() > threshold_pct;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn clear_difference_is_significant() {
+        let a = [100.0, 101.0, 99.0, 100.0, 102.0, 98.0];
+        let b = [200.0, 202.0, 198.0, 201.0, 199.0, 200.0];
+        let v = bootstrap_delta_pct(&a, &b, 500, 5, 5.0, &mut rng());
+        assert!(v.significant, "{v:?}");
+        assert_eq!(v.degenerate, None);
+        assert!((v.delta_pct - 100.0).abs() < 5.0);
+        assert!(v.ci_lo_pct > 0.0);
+    }
+
+    #[test]
+    fn n1_arms_are_too_few_samples_not_a_panic() {
+        let v = bootstrap_delta_pct(&[10.0], &[20.0], 500, 2, 5.0, &mut rng());
+        assert!(!v.significant);
+        assert_eq!(v.degenerate, Some(DegenerateReason::TooFewSamples));
+        assert!(v.ci_lo_pct.is_nan());
+        // Even min_count = 1 runs without dividing by zero.
+        let v = bootstrap_delta_pct(&[10.0], &[20.0], 500, 1, 5.0, &mut rng());
+        assert!(!v.significant, "single constant samples carry no spread");
+        assert_eq!(v.degenerate, Some(DegenerateReason::ZeroVariance));
+    }
+
+    #[test]
+    fn empty_sides_never_panic() {
+        let v = bootstrap_delta_pct(&[], &[], 500, 5, 5.0, &mut rng());
+        assert_eq!(v.degenerate, Some(DegenerateReason::TooFewSamples));
+        assert!(v.mean_a.is_nan() && v.mean_b.is_nan());
+        let v = bootstrap_delta_pct(&[], &[1.0; 8], 500, 0, 5.0, &mut rng());
+        assert_eq!(v.degenerate, Some(DegenerateReason::NonFinite));
+    }
+
+    #[test]
+    fn all_ties_report_typed_reason() {
+        let a = [3.0; 6];
+        let v = bootstrap_delta_pct(&a, &a, 500, 5, 5.0, &mut rng());
+        assert!(!v.significant);
+        assert_eq!(v.degenerate, Some(DegenerateReason::AllTies));
+        assert_eq!(v.delta_pct, 0.0);
+    }
+
+    #[test]
+    fn zero_variance_arms_are_not_significant() {
+        // Constant arms with a huge difference: the naive CI is a point
+        // far from zero, but there is no spread to support inference.
+        let a = [1.0; 8];
+        let b = [5.0; 8];
+        let v = bootstrap_delta_pct(&a, &b, 500, 5, 5.0, &mut rng());
+        assert!(!v.significant, "{v:?}");
+        assert_eq!(v.degenerate, Some(DegenerateReason::ZeroVariance));
+        assert!((v.delta_pct - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_and_non_positive_means_guarded() {
+        let v = bootstrap_delta_pct(&[1.0, f64::NAN, 2.0], &[1.0; 5], 500, 2, 5.0, &mut rng());
+        assert_eq!(v.degenerate, Some(DegenerateReason::NonFinite));
+        let v = bootstrap_delta_pct(&[0.0; 5], &[1.0; 5], 500, 5, 5.0, &mut rng());
+        assert_eq!(v.degenerate, Some(DegenerateReason::NonFinite));
+        let v = bootstrap_delta_pct(&[-2.0; 5], &[1.0; 5], 500, 5, 5.0, &mut rng());
+        assert_eq!(v.degenerate, Some(DegenerateReason::NonFinite));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = [100.0, 120.0, 90.0, 105.0, 95.0, 130.0];
+        let b = [110.0, 125.0, 95.0, 115.0, 100.0, 140.0];
+        let v1 = bootstrap_delta_pct(&a, &b, 500, 5, 5.0, &mut rng());
+        let v2 = bootstrap_delta_pct(&a, &b, 500, 5, 5.0, &mut rng());
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn rng_stream_alignment_is_shape_independent() {
+        // A degenerate comparison mid-stream must not consume RNG draws
+        // the old inline implementation would not have consumed: the
+        // next comparison sees the same stream either way.
+        let a = [100.0, 120.0, 90.0, 105.0, 95.0, 130.0];
+        let b = [110.0, 125.0, 95.0, 115.0, 100.0, 140.0];
+        let mut r1 = rng();
+        bootstrap_delta_pct(&[1.0], &[2.0], 500, 5, 5.0, &mut r1); // no draws
+        let after_degen = bootstrap_delta_pct(&a, &b, 500, 5, 5.0, &mut r1);
+        let mut r2 = rng();
+        let direct = bootstrap_delta_pct(&a, &b, 500, 5, 5.0, &mut r2);
+        assert_eq!(after_degen, direct);
+    }
+
+    #[test]
+    fn resamples_zero_reports_no_ci_and_no_reason() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 3.0, 4.0, 5.0, 6.0];
+        let v = bootstrap_delta_pct(&a, &b, 0, 5, 5.0, &mut rng());
+        assert!(!v.significant);
+        assert_eq!(v.degenerate, None);
+        assert!(v.ci_lo_pct.is_nan());
+    }
+}

@@ -9,10 +9,15 @@
 //! excludes zero **and** the point estimate exceeds the configured
 //! threshold. Diffing a run against itself yields zero significant
 //! entries by construction — the property the CI gate relies on.
+//!
+//! The statistics live in [`crate::bootstrap`], shared with the
+//! campaign-grid ranker; this module adds the per-span-name plumbing,
+//! sorting, and rendering.
 
+use crate::bootstrap::bootstrap_delta_pct;
 use crate::reader::Trace;
 use alperf_obs::json;
-use rand::{rngs::StdRng, RngCore, SeedableRng};
+use rand::{rngs::StdRng, SeedableRng};
 use std::collections::BTreeMap;
 
 /// Tuning for [`diff_traces`].
@@ -84,14 +89,6 @@ fn cap_samples(xs: Vec<f64>, cap: usize) -> Vec<f64> {
     (0..cap).map(|i| xs[(i as f64 * step) as usize]).collect()
 }
 
-fn resampled_mean(xs: &[f64], rng: &mut StdRng) -> f64 {
-    let n = xs.len() as u64;
-    let sum: f64 = (0..xs.len())
-        .map(|_| xs[(rng.next_u64() % n) as usize])
-        .sum();
-    sum / xs.len() as f64
-}
-
 /// Diff two traces per span name (union of names, sorted). Names missing
 /// from one side are reported with zero count and a NaN delta; shared
 /// names with enough samples get a seeded bootstrap CI. Output order:
@@ -132,43 +129,28 @@ pub fn diff_traces(a: &Trace, b: &Trace, cfg: &DiffConfig) -> Vec<SpanDiff> {
             f64::NAN
         };
 
-        let mut diff = SpanDiff {
+        let xa = cap_samples(xa, cfg.max_samples);
+        let xb = cap_samples(xb, cfg.max_samples);
+        let v = bootstrap_delta_pct(
+            &xa,
+            &xb,
+            cfg.resamples,
+            cfg.min_count,
+            cfg.threshold * 100.0,
+            &mut rng,
+        );
+        diffs.push(SpanDiff {
             name: name.clone(),
             count_a,
             count_b,
             mean_a_ns: mean_a,
             mean_b_ns: mean_b,
             delta_pct,
-            ci_lo_pct: f64::NAN,
-            ci_hi_pct: f64::NAN,
-            significant: false,
-            regression: false,
-        };
-
-        let enough = xa.len() >= cfg.min_count && xb.len() >= cfg.min_count;
-        if enough && mean_a > 0.0 && delta_pct.is_finite() && cfg.resamples > 0 {
-            let xa = cap_samples(xa, cfg.max_samples);
-            let xb = cap_samples(xb, cfg.max_samples);
-            let mut deltas: Vec<f64> = (0..cfg.resamples)
-                .map(|_| {
-                    let ma = resampled_mean(&xa, &mut rng);
-                    let mb = resampled_mean(&xb, &mut rng);
-                    if ma > 0.0 {
-                        (mb - ma) / ma * 100.0
-                    } else {
-                        0.0
-                    }
-                })
-                .collect();
-            deltas.sort_by(|x, y| x.partial_cmp(y).unwrap());
-            let pick = |q: f64| deltas[((deltas.len() - 1) as f64 * q).round() as usize];
-            diff.ci_lo_pct = pick(0.025);
-            diff.ci_hi_pct = pick(0.975);
-            let excludes_zero = diff.ci_lo_pct > 0.0 || diff.ci_hi_pct < 0.0;
-            diff.significant = excludes_zero && delta_pct.abs() > cfg.threshold * 100.0;
-            diff.regression = diff.significant && delta_pct > 0.0;
-        }
-        diffs.push(diff);
+            ci_lo_pct: v.ci_lo_pct,
+            ci_hi_pct: v.ci_hi_pct,
+            significant: v.significant,
+            regression: v.significant && delta_pct > 0.0,
+        });
     }
 
     diffs.sort_by(|x, y| {

@@ -23,6 +23,9 @@
 //!   decomposes exactly into its fit/predict/select/cholesky children.
 //! * [`folded`] — folded-stack (flamegraph) export, byte-stable and
 //!   compatible with inferno / speedscope / `flamegraph.pl`.
+//! * [`bootstrap`] — the seeded bootstrap comparison itself (relative
+//!   mean change + percentile CI) with typed degenerate-input verdicts,
+//!   shared by [`diff`] and the `alperf-grid` significance ranker.
 //! * [`diff`] — cross-run per-span-name comparison with seeded bootstrap
 //!   confidence intervals; flags statistically significant regressions.
 //! * [`postmortem`] — `alperf-blackbox-v1` flight-recorder dump reader
@@ -34,6 +37,7 @@
 //! bootstrap RNG is the workspace's deterministic `StdRng`.
 
 pub mod analyze;
+pub mod bootstrap;
 pub mod diff;
 pub mod folded;
 pub mod postmortem;
@@ -44,6 +48,7 @@ pub use analyze::{
     aggregate, child_coverage, critical_path, critical_path_from, ChildCoverage, CriticalPath,
     PathStep, SpanStats,
 };
+pub use bootstrap::{bootstrap_delta_pct, DegenerateReason, Verdict};
 pub use diff::{
     diff_traces, render_json as render_diff_json, render_table as render_diff_table,
     significant_regressions, DiffConfig, SpanDiff,
